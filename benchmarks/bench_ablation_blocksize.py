@@ -1,0 +1,71 @@
+"""Ablation — maximum supernode block size (Section 6 preamble).
+
+Paper: "We have used block size 25 in our experiments, since, if the block
+size is too large, the available parallelism will be reduced" — and too
+small a block forfeits the BLAS-3 rates.  We sweep the cap and report the
+sequential modeled time (cache effect), the DGEMM fraction, and the 1D
+parallel time on 8 nodes (parallelism effect).
+"""
+
+import pytest
+
+from conftest import print_table, save_results
+from repro.api import ExperimentContext
+from repro.machine import T3E
+from repro.parallel import run_1d
+from repro.taskgraph import build_task_graph
+
+SIZES = [2, 4, 8, 16, 25, 50]
+
+
+@pytest.fixture(scope="module")
+def blocksize_rows():
+    rows = []
+    for bs in SIZES:
+        ctx = ExperimentContext("sherman5", scale="small",
+                                block_size=bs, amalgamation=4)
+        lu = ctx.sequential_factor()
+        tg = build_task_graph(ctx.bstruct)
+        par = run_1d(ctx.ordered.A, ctx.part, ctx.bstruct, 8, T3E,
+                     method="rapid", tg=tg)
+        rows.append({
+            "block_size": bs,
+            "blocks": ctx.part.N,
+            "seq_seconds": lu.counter.modeled_seconds(T3E),
+            "dgemm_fraction": lu.counter.fraction("dgemm"),
+            "par8_seconds": par.parallel_seconds,
+        })
+    return rows
+
+
+def test_blocksize_ablation_report(blocksize_rows):
+    header = ["max block", "N blocks", "seq (ms)", "dgemm frac", "P=8 (ms)"]
+    rows = [
+        (r["block_size"], r["blocks"], f"{r['seq_seconds']*1e3:.3f}",
+         f"{r['dgemm_fraction']:.2f}", f"{r['par8_seconds']*1e3:.3f}")
+        for r in blocksize_rows
+    ]
+    print_table("Ablation: supernode block-size cap (sherman5)", header, rows)
+    save_results("ablation_blocksize", blocksize_rows)
+
+    by = {r["block_size"]: r for r in blocksize_rows}
+    # tiny blocks lose the BLAS-3 rates: sequential time at cap 2 or 4 is
+    # worse than at the paper's 25 (the DGEMM *fraction* alone is not the
+    # signal — a 2-wide GEMM still counts as BLAS-3 but runs derated)
+    assert by[2]["seq_seconds"] > by[25]["seq_seconds"]
+    assert by[4]["seq_seconds"] > by[25]["seq_seconds"]
+    # the partition coarsens monotonically
+    blocks = [r["blocks"] for r in blocksize_rows]
+    assert all(a >= b for a, b in zip(blocks, blocks[1:]))
+
+
+def test_bench_partition_sweep(benchmark):
+    ctx = ExperimentContext("sherman5", scale="small")
+
+    def run():
+        from repro.supernodes import build_partition
+
+        return build_partition(ctx.sym, max_size=25, amalgamation=4)
+
+    part = benchmark(run)
+    assert part.N > 0

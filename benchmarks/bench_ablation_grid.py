@@ -1,0 +1,69 @@
+"""Ablation — 2D grid aspect ratio (Section 5.2).
+
+Paper: "we assume that p_r <= p_c + 1, because, based on our experimental
+results, setting p_r <= p_c + 1 always leads to better performance" and
+"in practice, we set p_c / p_r = 2".  We sweep all factorizations of P and
+compare modeled times, plus the Theorem 2 buffer totals per shape.
+"""
+
+import pytest
+
+from conftest import print_table, save_results
+from repro.machine import T3E
+from repro.parallel import Grid2D, buffer_requirements, run_2d
+
+NPROCS = 16
+
+
+@pytest.fixture(scope="module")
+def grid_rows(ctx_cache):
+    ctx = ctx_cache("goodwin")
+    rows = []
+    for pr in (1, 2, 4, 8, 16):
+        pc = NPROCS // pr
+        g = Grid2D(pr, pc)
+        res = run_2d(ctx.ordered.A, ctx.part, ctx.bstruct, NPROCS, T3E, grid=g)
+        rep = buffer_requirements(ctx.bstruct, g)
+        rows.append({
+            "grid": f"{pr}x{pc}",
+            "pr": pr,
+            "pc": pc,
+            "seconds": res.parallel_seconds,
+            "overlap": res.overlap_degree(),
+            "buffer_bytes": rep.total,
+            "messages": res.sim.messages,
+        })
+    return rows
+
+
+def test_grid_ablation_report(grid_rows):
+    header = ["grid", "seconds", "overlap", "buffer KiB", "messages"]
+    rows = [
+        (r["grid"], f"{r['seconds']*1e3:.3f} ms", r["overlap"],
+         f"{r['buffer_bytes']/1024:.1f}", r["messages"])
+        for r in grid_rows
+    ]
+    print_table(f"Ablation: 2D grid shape at P={NPROCS}", header, rows)
+    save_results("ablation_grid", grid_rows)
+
+    by_shape = {r["grid"]: r for r in grid_rows}
+    # the paper's preferred wide-grid regime (p_c >= p_r) must beat the
+    # degenerate tall grid p_r = P (which serializes every Factor reduction)
+    wide_best = min(
+        r["seconds"] for r in grid_rows if r["pc"] >= r["pr"]
+    )
+    assert wide_best <= by_shape["16x1"]["seconds"]
+    # overlap degree stays within the Theorem 2 bound p_c
+    for r in grid_rows:
+        assert r["overlap"] <= r["pc"]
+
+
+def test_bench_grid_run(benchmark, ctx_cache):
+    ctx = ctx_cache("goodwin")
+
+    def run():
+        return run_2d(ctx.ordered.A, ctx.part, ctx.bstruct, NPROCS, T3E,
+                      grid=Grid2D(2, 8))
+
+    res = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert res.parallel_seconds > 0

@@ -1,0 +1,67 @@
+"""Ablation — network-parameter sensitivity of the parallel codes.
+
+The paper stresses low-overhead RMA (shmem_put: 2.7 us, 126 MB/s on T3D) as
+an enabler: "low communication overhead is critical for sparse code with
+mixed granularities".  We sweep latency and bandwidth around the T3E
+calibration and measure how the 1D RAPID and 2D async codes respond — the
+fine-grained 2D pivot reductions should hurt more under high latency.
+"""
+
+import dataclasses
+
+import pytest
+
+from conftest import print_table, save_results
+from repro.machine import T3E
+from repro.parallel import run_1d, run_2d
+
+LATENCIES = [0.5e-6, 1e-6, 5e-6, 25e-6]
+NPROCS = 8
+
+
+@pytest.fixture(scope="module")
+def network_rows(ctx_cache):
+    ctx = ctx_cache("sherman5")
+    rows = []
+    for lat in LATENCIES:
+        spec = dataclasses.replace(T3E, name=f"T3E-lat{lat*1e6:g}us", latency_s=lat)
+        t1 = run_1d(ctx.ordered.A, ctx.part, ctx.bstruct, NPROCS, spec,
+                    method="rapid", tg=ctx.taskgraph).parallel_seconds
+        t2 = run_2d(ctx.ordered.A, ctx.part, ctx.bstruct, NPROCS, spec).parallel_seconds
+        rows.append({
+            "latency_us": lat * 1e6,
+            "t_1d": t1,
+            "t_2d": t2,
+            "ratio_2d_over_1d": t2 / t1,
+        })
+    return rows
+
+
+def test_network_ablation_report(network_rows):
+    header = ["latency (us)", "1D RAPID (ms)", "2D async (ms)", "2D/1D"]
+    rows = [
+        (f"{r['latency_us']:g}", f"{r['t_1d']*1e3:.3f}", f"{r['t_2d']*1e3:.3f}",
+         f"{r['ratio_2d_over_1d']:.2f}")
+        for r in network_rows
+    ]
+    print_table(f"Ablation: message latency at P={NPROCS} (sherman5)", header, rows)
+    save_results("ablation_network", network_rows)
+
+    # both codes slow down monotonically with latency...
+    t1 = [r["t_1d"] for r in network_rows]
+    t2 = [r["t_2d"] for r in network_rows]
+    assert all(a <= b * 1.001 for a, b in zip(t1, t1[1:]))
+    assert all(a <= b * 1.001 for a, b in zip(t2, t2[1:]))
+    # ...and the fine-grained 2D code degrades at least as fast as 1D
+    assert network_rows[-1]["ratio_2d_over_1d"] >= network_rows[0]["ratio_2d_over_1d"] * 0.9
+
+
+def test_bench_high_latency_run(benchmark, ctx_cache):
+    ctx = ctx_cache("sherman5")
+    spec = dataclasses.replace(T3E, latency_s=25e-6)
+
+    def run():
+        return run_2d(ctx.ordered.A, ctx.part, ctx.bstruct, NPROCS, spec)
+
+    res = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert res.parallel_seconds > 0

@@ -1,0 +1,77 @@
+"""Section 6.1 — the Eq. (1)-(4) analytic model against measurement.
+
+Paper: plugging the measured DGEMM fraction r, flop ratio C~/C and symbolic
+overhead h into Eq. (4) predicts the S*/SuperLU time ratio; for the dense
+matrix (r = 1, C~/C = 1) the prediction is 0.48 (T3D) / 0.42 (T3E), "almost
+the same as the ratios listed in Table 2".  We evaluate the model with our
+measured per-matrix quantities and compare it with the directly modeled
+ratio from the kernel tallies.
+"""
+
+import pytest
+
+from conftest import print_table, save_results
+from repro.analysis import sequential_time_model
+from repro.machine import T3D, T3E
+
+MATRICES = ["sherman5", "orsreg1", "saylr4", "goodwin", "dense1000"]
+H = 0.5
+
+
+@pytest.fixture(scope="module")
+def eq4_rows(ctx_cache):
+    rows = []
+    for name in MATRICES:
+        ctx = ctx_cache(name)
+        lu = ctx.sequential_factor()
+        r = lu.counter.fraction("dgemm")
+        row = {"matrix": name, "r": r,
+               "flop_ratio": lu.counter.total / ctx.superlu_flops}
+        for spec in (T3D, T3E):
+            model = sequential_time_model(
+                spec, ctx.superlu_flops, lu.counter.total, r, h=H
+            )
+            measured = lu.counter.modeled_seconds(spec) / model.t_superlu
+            row[f"{spec.name}_eq4"] = model.time_ratio
+            row[f"{spec.name}_measured"] = measured
+        rows.append(row)
+    return rows
+
+
+def test_eq4_report(eq4_rows):
+    header = ["matrix", "r", "C~/C", "Eq4 T3D", "meas T3D", "Eq4 T3E", "meas T3E"]
+    rows = [
+        (
+            r["matrix"], f"{r['r']:.2f}", f"{r['flop_ratio']:.2f}",
+            f"{r['T3D_eq4']:.2f}", f"{r['T3D_measured']:.2f}",
+            f"{r['T3E_eq4']:.2f}", f"{r['T3E_measured']:.2f}",
+        )
+        for r in eq4_rows
+    ]
+    print_table("Eq. (4): predicted vs measured S*/SuperLU time ratio", header, rows)
+    save_results("eq4", eq4_rows)
+
+    for r in eq4_rows:
+        # the analytic model prices flops at the flat block-25 rates while
+        # the measurement derates narrow blocks — exactly the "discrepancy
+        # caused by nonuniform submatrix sizes" the paper reports, so the
+        # sparse matrices agree only within a factor ~2
+        assert r["T3D_eq4"] == pytest.approx(r["T3D_measured"], rel=0.8), r["matrix"]
+    dense = next(r for r in eq4_rows if r["matrix"] == "dense1000")
+    # dense blocks run at the reference granularity: tight agreement
+    assert dense["T3D_eq4"] == pytest.approx(dense["T3D_measured"], rel=0.15)
+    assert dense["T3E_eq4"] < dense["T3D_eq4"]
+
+
+def test_bench_model_evaluation(benchmark, ctx_cache):
+    ctx = ctx_cache("sherman5")
+    lu = ctx.sequential_factor()
+
+    def run():
+        return sequential_time_model(
+            T3E, ctx.superlu_flops, lu.counter.total,
+            lu.counter.fraction("dgemm"), h=H,
+        )
+
+    model = benchmark(run)
+    assert model.time_ratio > 0

@@ -1,0 +1,64 @@
+"""Fig. 16 — impact of scheduling strategy on the 1D code.
+
+Paper: ``1 - PT_RAPID / PT_CA`` per matrix and processor count.  For 2-4
+processors CA occasionally edges ahead; from 8 processors up the RAPID code
+runs 10-40% faster, and the gap widens with P.
+"""
+
+import pytest
+
+from conftest import print_table, save_results
+from repro.machine import T3E
+from repro.parallel import run_1d
+
+MATRICES = ["sherman5", "lnsp3937", "lns3937", "jpwh991", "orsreg1", "goodwin"]
+PROCS = [2, 4, 8, 16, 32]
+
+
+@pytest.fixture(scope="module")
+def fig16_rows(ctx_cache):
+    rows = []
+    for name in MATRICES:
+        ctx = ctx_cache(name)
+        row = {"matrix": name}
+        for p in PROCS:
+            tra = run_1d(
+                ctx.ordered.A, ctx.part, ctx.bstruct, p, T3E,
+                method="rapid", tg=ctx.taskgraph,
+            ).parallel_seconds
+            tca = run_1d(
+                ctx.ordered.A, ctx.part, ctx.bstruct, p, T3E,
+                method="ca", tg=ctx.taskgraph,
+            ).parallel_seconds
+            row[f"P{p}"] = 1.0 - tra / tca
+        rows.append(row)
+    return rows
+
+
+def test_fig16_report(fig16_rows):
+    header = ["matrix"] + [f"P={p}" for p in PROCS]
+    rows = [
+        tuple([r["matrix"]] + [f"{r[f'P{p}']:+.1%}" for p in PROCS])
+        for r in fig16_rows
+    ]
+    print_table("Fig. 16: 1 - PT_RAPID/PT_CA (positive = RAPID faster)", header, rows)
+    save_results("fig16", fig16_rows)
+
+    # the paper's shape: RAPID clearly ahead for P >= 8 on most matrices
+    wins8 = [r for r in fig16_rows if r["P8"] > 0]
+    assert len(wins8) >= len(fig16_rows) - 1
+    mean16 = sum(r["P16"] for r in fig16_rows) / len(fig16_rows)
+    assert mean16 > 0.05  # ≥5% average improvement at 16 procs
+
+
+def test_bench_ca_run(benchmark, ctx_cache):
+    ctx = ctx_cache("sherman5")
+
+    def run():
+        return run_1d(
+            ctx.ordered.A, ctx.part, ctx.bstruct, 8, T3E,
+            method="ca", tg=ctx.taskgraph,
+        )
+
+    res = benchmark(run)
+    assert res.parallel_seconds > 0

@@ -1,0 +1,59 @@
+"""Fig. 18 — load-balance factors of the 1D RAPID and 2D codes.
+
+Paper: load balance factor = work_total / (P * work_max), counting update
+work only.  The 2D block-cyclic mapping balances better than the 1D
+column mapping on most matrices, which partly compensates for its simpler
+scheduling (read together with Fig. 17).
+"""
+
+import pytest
+
+from conftest import print_table, save_results
+from repro.analysis import load_balance_factor
+from repro.analysis.loadbalance import update_work_by_rank
+from repro.machine import T3E
+from repro.parallel import run_1d, run_2d
+
+MATRICES = ["sherman5", "lnsp3937", "lns3937", "jpwh991", "orsreg1", "goodwin"]
+NPROCS = 8
+
+
+@pytest.fixture(scope="module")
+def fig18_rows(ctx_cache):
+    rows = []
+    for name in MATRICES:
+        ctx = ctx_cache(name)
+        r1 = run_1d(ctx.ordered.A, ctx.part, ctx.bstruct, NPROCS, T3E,
+                    method="rapid", tg=ctx.taskgraph)
+        r2 = run_2d(ctx.ordered.A, ctx.part, ctx.bstruct, NPROCS, T3E)
+        rows.append({
+            "matrix": name,
+            "lb_1d": load_balance_factor(update_work_by_rank(r1.sim)),
+            "lb_2d": load_balance_factor(update_work_by_rank(r2.sim)),
+        })
+    return rows
+
+
+def test_fig18_report(fig18_rows):
+    header = ["matrix", "1D RAPID", "2D"]
+    rows = [
+        (r["matrix"], f"{r['lb_1d']:.3f}", f"{r['lb_2d']:.3f}")
+        for r in fig18_rows
+    ]
+    print_table(f"Fig. 18: load balance factors at P={NPROCS}", header, rows)
+    save_results("fig18", fig18_rows)
+
+    for r in fig18_rows:
+        assert 0.0 < r["lb_1d"] <= 1.0
+        assert 0.0 < r["lb_2d"] <= 1.0
+    # the 2D mapping balances at least as well on average (paper's claim)
+    m1 = sum(r["lb_1d"] for r in fig18_rows) / len(fig18_rows)
+    m2 = sum(r["lb_2d"] for r in fig18_rows) / len(fig18_rows)
+    assert m2 > m1 * 0.85
+
+
+def test_bench_loadbalance_extraction(benchmark, ctx_cache):
+    ctx = ctx_cache("orsreg1")
+    res = run_2d(ctx.ordered.A, ctx.part, ctx.bstruct, NPROCS, T3E)
+    lb = benchmark(lambda: load_balance_factor(update_work_by_rank(res.sim)))
+    assert 0 < lb <= 1

@@ -1,0 +1,124 @@
+"""Table 2 — sequential performance: S* versus SuperLU.
+
+Paper columns per machine (T3D, T3E): execution seconds and MFLOPS for S*
+and SuperLU, and the exec-time ratio S*/SuperLU.  Paper headline: despite
+executing up to ~4x the flops, S* stays within ~0.5-2x of SuperLU's time
+because its updates run at the DGEMM rate (and it *wins* on dense/denser
+matrices where the DGEMM fraction approaches 1).
+
+Modeled seconds come from the calibrated machine specs: S* prices its
+kernel tally (Eq. 2); SuperLU prices its dynamic flops at the DGEMV rate
+plus the measured symbolic-overhead factor h (Eqs. 1, 3).
+"""
+
+import pytest
+
+from conftest import print_table, save_results
+from repro.analysis import achieved_mflops, sequential_time_model
+from repro.machine import T3D, T3E
+
+MATRICES = [
+    "sherman5",
+    "lnsp3937",
+    "lns3937",
+    "sherman3",
+    "jpwh991",
+    "orsreg1",
+    "saylr4",
+    "goodwin",
+    "b33_5600",
+    "dense1000",
+]
+
+#: SuperLU symbolic/numeric time ratio; the paper bounds it by 0.82.
+H_SYMBOLIC = 0.5
+
+
+@pytest.fixture(scope="module")
+def table2_rows(ctx_cache):
+    rows = []
+    for name in MATRICES:
+        ctx = ctx_cache(name)
+        lu = ctx.sequential_factor()
+        superlu_flops = ctx.superlu_flops
+        row = {"matrix": name, "flop_ratio": lu.counter.total / superlu_flops,
+               "dgemm_fraction": lu.counter.fraction("dgemm")}
+        for spec in (T3D, T3E):
+            t_sstar = lu.counter.modeled_seconds(spec)
+            model = sequential_time_model(
+                spec,
+                superlu_flops,
+                lu.counter.total,
+                lu.counter.fraction("dgemm"),
+                h=H_SYMBOLIC,
+            )
+            t_superlu = model.t_superlu
+            row[f"{spec.name}_sstar_s"] = t_sstar
+            row[f"{spec.name}_superlu_s"] = t_superlu
+            row[f"{spec.name}_sstar_mflops"] = achieved_mflops(superlu_flops, t_sstar)
+            row[f"{spec.name}_superlu_mflops"] = achieved_mflops(
+                superlu_flops, t_superlu
+            )
+            row[f"{spec.name}_ratio"] = t_sstar / t_superlu
+        rows.append(row)
+    return rows
+
+
+def test_table2_report(table2_rows):
+    header = [
+        "matrix", "S* T3D(s)", "SLU T3D(s)", "S* MF", "SLU MF",
+        "ratio T3D", "ratio T3E", "C~/C", "r(dgemm)",
+    ]
+    rows = [
+        (
+            r["matrix"],
+            f"{r['T3D_sstar_s']:.4f}",
+            f"{r['T3D_superlu_s']:.4f}",
+            f"{r['T3D_sstar_mflops']:.1f}",
+            f"{r['T3D_superlu_mflops']:.1f}",
+            f"{r['T3D_ratio']:.2f}",
+            f"{r['T3E_ratio']:.2f}",
+            f"{r['flop_ratio']:.2f}",
+            f"{r['dgemm_fraction']:.2f}",
+        )
+        for r in table2_rows
+    ]
+    print_table("Table 2: sequential S* vs SuperLU (modeled)", header, rows)
+    save_results("table2", table2_rows)
+
+    for r in table2_rows:
+        # S* must stay within a competitive band.  At the reduced synthetic
+        # scale the dense-block padding weighs relatively heavier than at
+        # the paper's 4-17k orders, so the band is wider than Table 2's
+        # 0.5-1.6 but the ordering of matrices (near-symmetric reservoir
+        # matrices cheap, pattern-nonsymmetric CFD matrices expensive,
+        # dense a clear win) is preserved.
+        assert r["T3D_ratio"] < 5.0, r["matrix"]
+        assert r["T3E_ratio"] < 5.0, r["matrix"]
+    # the dense matrix is where S* wins outright (paper: ratio ~0.5)
+    dense = next(r for r in table2_rows if r["matrix"] == "dense1000")
+    assert dense["T3D_ratio"] < 1.0
+    assert dense["dgemm_fraction"] > 0.8
+    # T3E's faster DGEMM should not make S* relatively worse on dense
+    assert dense["T3E_ratio"] < 1.0
+
+
+def test_bench_sstar_numeric_factorization(benchmark, ctx_cache):
+    """Wall-clock the real numeric factorization (the Table 2 operation)."""
+    ctx = ctx_cache("sherman5")
+
+    def run():
+        return ctx.sequential_factor()
+
+    lu = benchmark(run)
+    assert lu.counter.total > 0
+
+
+def test_bench_dense_factorization(benchmark, ctx_cache):
+    ctx = ctx_cache("dense1000")
+
+    def run():
+        return ctx.sequential_factor()
+
+    lu = benchmark(run)
+    assert lu.counter.fraction("dgemm") > 0.8

@@ -1,0 +1,64 @@
+"""Table 3 — absolute performance (MFLOPS) of the 1D RAPID code.
+
+Paper: MFLOPS on T3D and T3E for P = 2..64; performance grows with P,
+T3E about 3x T3D, and speedups over sequential S* reach ~17.7 (T3D) /
+~24.1 (T3E) on 64 nodes for the larger matrices.
+"""
+
+import pytest
+
+from conftest import print_table, save_results
+from repro.analysis import achieved_mflops
+from repro.machine import T3D, T3E
+from repro.parallel import run_1d
+
+MATRICES = ["sherman5", "lnsp3937", "jpwh991", "orsreg1", "goodwin", "b33_5600"]
+PROCS = [2, 4, 8, 16, 32, 64]
+
+
+@pytest.fixture(scope="module")
+def table3_rows(ctx_cache):
+    rows = []
+    for name in MATRICES:
+        ctx = ctx_cache(name)
+        row = {"matrix": name}
+        for spec in (T3D, T3E):
+            for p in PROCS:
+                res = run_1d(
+                    ctx.ordered.A, ctx.part, ctx.bstruct, p, spec,
+                    method="rapid", tg=ctx.taskgraph,
+                )
+                row[f"{spec.name}_P{p}"] = achieved_mflops(
+                    ctx.superlu_flops, res.parallel_seconds
+                )
+        rows.append(row)
+    return rows
+
+
+def test_table3_report(table3_rows):
+    header = ["matrix"] + [f"T3E P={p}" for p in PROCS]
+    rows = [
+        tuple([r["matrix"]] + [f"{r[f'T3E_P{p}']:.1f}" for p in PROCS])
+        for r in table3_rows
+    ]
+    print_table("Table 3: 1D RAPID MFLOPS (T3E; T3D in results json)", header, rows)
+    save_results("table3", table3_rows)
+
+    for r in table3_rows:
+        # more processors should not hurt badly, and T3E > T3D throughout
+        for p in PROCS:
+            assert r[f"T3E_P{p}"] > r[f"T3D_P{p}"], (r["matrix"], p)
+        assert r["T3E_P16"] >= r["T3E_P2"] * 0.9, r["matrix"]
+
+
+def test_bench_rapid_run(benchmark, ctx_cache):
+    ctx = ctx_cache("sherman5")
+
+    def run():
+        return run_1d(
+            ctx.ordered.A, ctx.part, ctx.bstruct, 8, T3E,
+            method="rapid", tg=ctx.taskgraph,
+        )
+
+    res = benchmark(run)
+    assert res.parallel_seconds > 0

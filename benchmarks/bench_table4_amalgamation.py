@@ -1,0 +1,77 @@
+"""Table 4 — parallel-time improvement from supernode amalgamation.
+
+Paper: ``1 - PT_amalgamated / PT_exact`` for the 1D RAPID code, P = 1..32;
+improvements of 10-55% because bigger supernodes mean bigger dense blocks
+and coarser tasks.
+"""
+
+import pytest
+
+from conftest import print_table, save_results
+from repro.machine import T3E
+from repro.parallel import run_1d
+from repro.taskgraph import build_task_graph
+
+MATRICES = ["sherman5", "lnsp3937", "lns3937", "sherman3", "jpwh991", "orsreg1", "saylr4"]
+PROCS = [1, 2, 4, 8, 16, 32]
+
+
+@pytest.fixture(scope="module")
+def table4_rows(ctx_cache):
+    rows = []
+    for name in MATRICES:
+        ctx = ctx_cache(name)          # amalgamation factor 4
+        ctx0 = ctx_cache(name, 0)      # exact supernodes
+        tg_a = ctx.taskgraph
+        tg_0 = build_task_graph(ctx0.bstruct)
+        from repro.supernodes import supernode_stats
+
+        st = supernode_stats(ctx.sym)
+        row = {"matrix": name,
+               "blocks_exact": ctx0.part.N, "blocks_amalgamated": ctx.part.N,
+               "mean_supernode_width": round(st["mean_width"], 2)}
+        for p in PROCS:
+            ta = run_1d(ctx.ordered.A, ctx.part, ctx.bstruct, p, T3E,
+                        method="rapid", tg=tg_a).parallel_seconds
+            t0 = run_1d(ctx0.ordered.A, ctx0.part, ctx0.bstruct, p, T3E,
+                        method="rapid", tg=tg_0).parallel_seconds
+            row[f"P{p}"] = 1.0 - ta / t0
+        rows.append(row)
+    return rows
+
+
+def test_table4_report(table4_rows):
+    header = ["matrix", "N exact", "N amalg"] + [f"P={p}" for p in PROCS]
+    rows = [
+        tuple(
+            [r["matrix"], r["blocks_exact"], r["blocks_amalgamated"]]
+            + [f"{r[f'P{p}']:+.1%}" for p in PROCS]
+        )
+        for r in table4_rows
+    ]
+    print_table("Table 4: parallel-time improvement from amalgamation", header, rows)
+    save_results("table4", table4_rows)
+
+    for r in table4_rows:
+        # amalgamation must coarsen the partition...
+        assert r["blocks_amalgamated"] <= r["blocks_exact"], r["matrix"]
+        # ...of supernodes that start out narrow (the paper's ~1.5-2 regime)
+        assert r["mean_supernode_width"] < 4.0, r["matrix"]
+    # ...and on average improve the parallel time
+    means = {p: sum(r[f"P{p}"] for r in table4_rows) / len(table4_rows) for p in PROCS}
+    assert means[8] > 0.0
+    assert means[16] > 0.0
+
+
+def test_bench_amalgamation(benchmark, ctx_cache):
+    from repro.supernodes import find_supernodes
+    from repro.supernodes.amalgamate import amalgamate_supernodes
+
+    ctx = ctx_cache("saylr4")
+    exact = find_supernodes(ctx.sym, max_size=25)
+
+    def run():
+        return amalgamate_supernodes(ctx.sym, exact, factor=4, max_size=25)
+
+    bounds = benchmark(run)
+    assert len(bounds) <= len(exact)

@@ -1,0 +1,70 @@
+"""Table 5 — 2D asynchronous code on T3D for larger matrices.
+
+Paper: P = 16/32/64, seconds and MFLOPS; 1.48 GFLOPS peak on 64 nodes for
+vavasis3 (23.1 MFLOPS/node; 32.8 MFLOPS/node at 16).  The large matrices
+only fit under the 2D mapping — the memory-scalability selling point.
+"""
+
+import pytest
+
+from conftest import print_table, save_results
+from repro.analysis import achieved_mflops
+from repro.machine import T3D
+from repro.parallel import run_2d
+
+MATRICES = ["goodwin", "e40r0100", "ex11", "raefsky4", "vavasis3"]
+PROCS = [16, 32, 64]
+
+
+@pytest.fixture(scope="module")
+def table5_rows(ctx_cache):
+    rows = []
+    for name in MATRICES:
+        ctx = ctx_cache(name)
+        row = {"matrix": name}
+        for p in PROCS:
+            res = run_2d(ctx.ordered.A, ctx.part, ctx.bstruct, p, T3D)
+            row[f"P{p}_s"] = res.parallel_seconds
+            row[f"P{p}_mflops"] = achieved_mflops(
+                ctx.superlu_flops, res.parallel_seconds
+            )
+        rows.append(row)
+    return rows
+
+
+def test_table5_report(table5_rows):
+    header = ["matrix"] + [h for p in PROCS for h in (f"P={p} (s)", "MFLOPS")]
+    rows = [
+        tuple(
+            [r["matrix"]]
+            + [
+                v
+                for p in PROCS
+                for v in (f"{r[f'P{p}_s']:.4f}", f"{r[f'P{p}_mflops']:.1f}")
+            ]
+        )
+        for r in table5_rows
+    ]
+    print_table("Table 5: 2D asynchronous code on T3D", header, rows)
+    save_results("table5", table5_rows)
+
+    from conftest import SCALE
+
+    for r in table5_rows:
+        for p in PROCS:
+            assert r[f"P{p}_mflops"] > 0
+        # scaling the grid must not collapse performance; the paper's
+        # monotone-improvement shape needs bench-scale problems to emerge —
+        # the reduced analogues saturate the pipeline well before P=64
+        limit = 1.3 if SCALE == "bench" else 2.5
+        assert r["P64_s"] < r["P16_s"] * limit, r["matrix"]
+
+
+def test_bench_2d_t3d(benchmark, ctx_cache):
+    ctx = ctx_cache("goodwin")
+
+    def run():
+        return run_2d(ctx.ordered.A, ctx.part, ctx.bstruct, 16, T3D)
+
+    res = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert res.parallel_seconds > 0

@@ -1,0 +1,71 @@
+"""Table 6 — 2D asynchronous code on T3E, the headline result.
+
+Paper: P = 8..128; up to 6.878 GFLOPS on 128 nodes (vavasis3) — the highest
+performance reported for distributed-memory sparse LU with partial pivoting
+at the time.  T3E runs ~3.1-3.4x the T3D megaflops on 64 nodes.
+"""
+
+import pytest
+
+from conftest import print_table, save_results
+from repro.analysis import achieved_mflops
+from repro.machine import T3D, T3E
+from repro.parallel import run_2d
+
+MATRICES = ["goodwin", "e40r0100", "ex11", "raefsky4", "inaccura", "af23560", "vavasis3"]
+PROCS = [8, 16, 32, 64, 128]
+
+
+@pytest.fixture(scope="module")
+def table6_rows(ctx_cache):
+    rows = []
+    for name in MATRICES:
+        ctx = ctx_cache(name)
+        row = {"matrix": name}
+        for p in PROCS:
+            res = run_2d(ctx.ordered.A, ctx.part, ctx.bstruct, p, T3E)
+            row[f"P{p}_s"] = res.parallel_seconds
+            row[f"P{p}_mflops"] = achieved_mflops(
+                ctx.superlu_flops, res.parallel_seconds
+            )
+        res64_t3d = run_2d(ctx.ordered.A, ctx.part, ctx.bstruct, 64, T3D)
+        row["t3e_vs_t3d_64"] = res64_t3d.parallel_seconds / row["P64_s"]
+        rows.append(row)
+    return rows
+
+
+def test_table6_report(table6_rows):
+    header = ["matrix"] + [f"P={p} MF" for p in PROCS] + ["T3E/T3D @64"]
+    rows = [
+        tuple(
+            [r["matrix"]]
+            + [f"{r[f'P{p}_mflops']:.1f}" for p in PROCS]
+            + [f"{r['t3e_vs_t3d_64']:.2f}x"]
+        )
+        for r in table6_rows
+    ]
+    print_table("Table 6: 2D asynchronous code on T3E", header, rows)
+    save_results("table6", table6_rows)
+
+    from conftest import SCALE
+
+    for r in table6_rows:
+        # the machine upgrade must deliver a clear speedup at 64 nodes
+        assert r["t3e_vs_t3d_64"] > 1.5, r["matrix"]
+        # larger grids must not collapse; monotone scaling needs
+        # bench-scale matrices (see Table 5 note)
+        limit = 1.5 if SCALE == "bench" else 4.0
+        assert r["P128_s"] < r["P8_s"] * limit, r["matrix"]
+    # the biggest matrix should post the best absolute number at P=128
+    best = max(table6_rows, key=lambda r: r["P128_mflops"])
+    assert best["P128_mflops"] == max(r["P128_mflops"] for r in table6_rows)
+
+
+def test_bench_2d_t3e(benchmark, ctx_cache):
+    ctx = ctx_cache("vavasis3")
+
+    def run():
+        return run_2d(ctx.ordered.A, ctx.part, ctx.bstruct, 16, T3E)
+
+    res = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert res.parallel_seconds > 0

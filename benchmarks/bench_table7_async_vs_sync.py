@@ -1,0 +1,61 @@
+"""Table 7 — 2D asynchronous vs synchronous (barrier-per-stage) code.
+
+Paper: improvement ``1 - PT_async / PT_sync`` from ~3-10% at P = 2-4 up to
+~25-35% at P = 16-64 — overlapping update stages matters more the wider the
+machine.
+"""
+
+import pytest
+
+from conftest import print_table, save_results
+from repro.machine import T3E
+from repro.parallel import run_2d
+
+MATRICES = ["sherman5", "lnsp3937", "jpwh991", "orsreg1", "saylr4", "goodwin", "vavasis3"]
+PROCS = [2, 4, 8, 16, 32, 64]
+
+
+@pytest.fixture(scope="module")
+def table7_rows(ctx_cache):
+    rows = []
+    for name in MATRICES:
+        ctx = ctx_cache(name)
+        row = {"matrix": name}
+        for p in PROCS:
+            ta = run_2d(ctx.ordered.A, ctx.part, ctx.bstruct, p, T3E,
+                        synchronous=False).parallel_seconds
+            ts = run_2d(ctx.ordered.A, ctx.part, ctx.bstruct, p, T3E,
+                        synchronous=True).parallel_seconds
+            row[f"P{p}"] = 1.0 - ta / ts
+        rows.append(row)
+    return rows
+
+
+def test_table7_report(table7_rows):
+    header = ["matrix"] + [f"P={p}" for p in PROCS]
+    rows = [
+        tuple([r["matrix"]] + [f"{r[f'P{p}']:+.1%}" for p in PROCS])
+        for r in table7_rows
+    ]
+    print_table("Table 7: 2D async improvement over sync", header, rows)
+    save_results("table7", table7_rows)
+
+    for r in table7_rows:
+        # async never loses
+        for p in PROCS:
+            assert r[f"P{p}"] >= -0.02, (r["matrix"], p)
+    # the improvement grows with machine width (paper's key observation)
+    mean_small = sum(r["P2"] for r in table7_rows) / len(table7_rows)
+    mean_large = sum(r["P32"] for r in table7_rows) / len(table7_rows)
+    assert mean_large > mean_small
+
+
+def test_bench_sync_run(benchmark, ctx_cache):
+    ctx = ctx_cache("orsreg1")
+
+    def run():
+        return run_2d(ctx.ordered.A, ctx.part, ctx.bstruct, 8, T3E,
+                      synchronous=True)
+
+    res = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert res.parallel_seconds > 0

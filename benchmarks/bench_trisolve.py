@@ -1,0 +1,86 @@
+"""Triangular-solve cost — "much less time consuming than the Gaussian
+elimination process" (Section 2).
+
+Compares the modeled time of the distributed triangular solves (1D and 2D)
+with their factorizations, and reports the solve's message count — the
+solves are latency-bound, which is why the paper focuses its engineering on
+the factorization.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_table, save_results
+from repro.machine import T3E
+from repro.numfact import LUFactorization
+from repro.parallel import run_1d, run_1d_trisolve, run_2d, run_2d_trisolve
+
+MATRICES = ["sherman5", "orsreg1", "goodwin"]
+NPROCS = 8
+
+
+@pytest.fixture(scope="module")
+def trisolve_rows(ctx_cache):
+    rows = []
+    for name in MATRICES:
+        ctx = ctx_cache(name)
+        b = np.ones(ctx.ordered.n)
+        r1 = run_1d(ctx.ordered.A, ctx.part, ctx.bstruct, NPROCS, T3E,
+                    method="rapid", tg=ctx.taskgraph)
+        lu1 = LUFactorization(r1.factor, ctx.sym, ctx.part, ctx.bstruct,
+                              r1.sim.total_counter())
+        t1 = run_1d_trisolve(lu1, r1.schedule.owner, b, NPROCS, T3E)
+        r2 = run_2d(ctx.ordered.A, ctx.part, ctx.bstruct, NPROCS, T3E)
+        lu2 = LUFactorization(r2.factor, ctx.sym, ctx.part, ctx.bstruct,
+                              r2.sim.total_counter())
+        t2 = run_2d_trisolve(lu2, b, NPROCS, T3E, grid=r2.grid)
+        rows.append({
+            "matrix": name,
+            "factor_1d_s": r1.parallel_seconds,
+            "solve_1d_s": t1.parallel_seconds,
+            "ratio_1d": t1.parallel_seconds / r1.parallel_seconds,
+            "factor_2d_s": r2.parallel_seconds,
+            "solve_2d_s": t2.parallel_seconds,
+            "ratio_2d": t2.parallel_seconds / r2.parallel_seconds,
+            "solve_msgs_1d": t1.sim.messages,
+            "solve_msgs_2d": t2.sim.messages,
+        })
+    return rows
+
+
+def test_trisolve_report(trisolve_rows):
+    header = ["matrix", "1D factor (ms)", "1D solve (ms)", "solve/factor",
+              "2D factor (ms)", "2D solve (ms)", "solve/factor"]
+    rows = [
+        (r["matrix"],
+         f"{r['factor_1d_s']*1e3:.3f}", f"{r['solve_1d_s']*1e3:.3f}",
+         f"{r['ratio_1d']:.2f}",
+         f"{r['factor_2d_s']*1e3:.3f}", f"{r['solve_2d_s']*1e3:.3f}",
+         f"{r['ratio_2d']:.2f}")
+        for r in trisolve_rows
+    ]
+    print_table(f"Triangular solves vs factorization at P={NPROCS}", header, rows)
+    save_results("trisolve", trisolve_rows)
+
+    # solves are far cheaper on average; on the tiniest/sparsest analogues
+    # both phases are latency-bound so individual ratios can graze 1.0
+    for r in trisolve_rows:
+        assert r["ratio_1d"] < 1.2, r["matrix"]
+        assert r["ratio_2d"] < 1.2, r["matrix"]
+    mean_1d = sum(r["ratio_1d"] for r in trisolve_rows) / len(trisolve_rows)
+    assert mean_1d < 0.8
+
+
+def test_bench_1d_trisolve(benchmark, ctx_cache):
+    ctx = ctx_cache("sherman5")
+    r1 = run_1d(ctx.ordered.A, ctx.part, ctx.bstruct, NPROCS, T3E,
+                method="rapid", tg=ctx.taskgraph)
+    lu1 = LUFactorization(r1.factor, ctx.sym, ctx.part, ctx.bstruct,
+                          r1.sim.total_counter())
+    b = np.ones(ctx.ordered.n)
+
+    def run():
+        return run_1d_trisolve(lu1, r1.schedule.owner, b, NPROCS, T3E)
+
+    res = benchmark(run)
+    assert res.parallel_seconds > 0

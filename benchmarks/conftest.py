@@ -1,0 +1,60 @@
+"""Shared benchmark plumbing.
+
+Scale selection: ``REPRO_BENCH_SCALE=small`` (default; suite analogues of a
+few hundred unknowns, the whole harness runs in minutes) or ``bench``
+(1-3k unknowns, slower but with more pronounced BLAS-3/pipeline effects).
+
+Every bench prints the paper-style table it reproduces and appends its rows
+to ``benchmarks/results/*.json`` so ``tools/make_experiments.py`` can
+regenerate EXPERIMENTS.md from a full run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.api import ExperimentContext
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def ctx_cache():
+    """Session cache of ExperimentContexts keyed by (name, amalgamation)."""
+    cache = {}
+
+    def get(name: str, amalgamation: int = 4) -> ExperimentContext:
+        key = (name, amalgamation)
+        if key not in cache:
+            cache[key] = ExperimentContext(
+                name, scale=SCALE, amalgamation=amalgamation
+            )
+        return cache[key]
+
+    return get
+
+
+def save_results(table: str, rows) -> None:
+    """Persist bench rows for the EXPERIMENTS.md generator."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{table}.json"
+    path.write_text(json.dumps({"scale": SCALE, "rows": rows}, indent=2))
+
+
+def print_table(title: str, header, rows) -> None:
+    """Fixed-width table printer for paper-style output."""
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(header)
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(header, widths))
+    print(f"\n== {title} ==")
+    print(line)
+    print("-" * len(line))
+    for r in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(r, widths)))

@@ -1,0 +1,54 @@
+"""Circuit DC operating-point analysis on a simulated distributed machine.
+
+jpwh991-class workload: a modified-nodal-analysis matrix from circuit
+simulation is numerically nonsymmetric and *needs* partial pivoting for
+stability.  We solve it three ways — sequentially, with the 1D RAPID code on
+8 simulated T3E nodes, and with the 2D asynchronous code — and show all
+three produce bitwise-identical factors while the parallel runs report
+machine-level statistics (messages, bytes, modeled time).
+
+Run:  python examples/circuit_dc_analysis.py
+"""
+
+import numpy as np
+
+from repro import SStarSolver
+from repro.matrices import circuit_like
+from repro.sparse import csr_matvec
+
+
+def main():
+    A = circuit_like(500, fanout=3, seed=11)
+    n = A.nrows
+    print(f"circuit matrix: n = {n}, nnz = {A.nnz}")
+
+    b = np.zeros(n)
+    b[0] = 1.0  # unit current injection at node 0
+
+    results = {}
+    for label, kwargs in {
+        "sequential": dict(),
+        "1D RAPID x8 (T3E)": dict(nprocs=8, method="1d-rapid", machine="T3E"),
+        "2D async 2x4 (T3E)": dict(nprocs=8, method="2d", machine="T3E"),
+    }.items():
+        solver = SStarSolver(**kwargs).factor(A)
+        x = solver.solve(b)
+        resid = np.linalg.norm(csr_matvec(A, x) - b) / np.linalg.norm(b)
+        results[label] = x
+        rep = solver.report
+        extra = ""
+        if rep.parallel_seconds is not None:
+            extra = (
+                f", modeled time {rep.parallel_seconds*1e3:.2f} ms, "
+                f"{rep.messages} msgs, {rep.bytes_sent/1024:.0f} KiB"
+            )
+        print(f"  {label:20s} residual {resid:.2e}{extra}")
+
+    xs = list(results.values())
+    assert all(np.array_equal(xs[0], x) for x in xs[1:])
+    print("all three solutions are bitwise identical.")
+    print(f"node voltages (first 5): {np.round(xs[0][:5], 6)}")
+
+
+if __name__ == "__main__":
+    main()

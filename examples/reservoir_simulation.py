@@ -1,0 +1,77 @@
+"""Implicit reservoir simulation: repeated sparse solves on one pattern.
+
+The paper's motivating workloads (sherman5, orsreg1, saylr4) come from
+fully-implicit oil-reservoir simulators: every Newton step solves a
+nonsymmetric Jacobian system whose *pattern* is fixed by the grid while the
+*values* change with the saturation state.  This is exactly where S* shines:
+the expensive structure work (ordering, static symbolic factorization,
+partitioning) is done once, and each Newton step only re-runs the numeric
+factorization — impossible for dynamic-symbolic codes, which must redo
+symbolic work every time pivoting changes.
+
+Run:  python examples/reservoir_simulation.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.matrices import stencil_3d
+from repro.numfact import sstar_factor
+from repro.ordering import prepare_matrix
+from repro.sparse import csr_matvec, CSRMatrix, coo_to_csr, csr_to_coo
+from repro.supernodes import build_partition
+from repro.symbolic import static_symbolic_factorization
+
+
+def perturb_values(A: CSRMatrix, step: int) -> CSRMatrix:
+    """New Newton-step Jacobian: same pattern, perturbed coefficients."""
+    rng = np.random.default_rng(1000 + step)
+    rows, cols, vals = csr_to_coo(A)
+    vals = vals * (1.0 + 0.05 * rng.uniform(-1, 1, len(vals)))
+    return coo_to_csr(A.nrows, A.ncols, rows, cols, vals)
+
+
+def main():
+    nx, ny, nz, ndof = 7, 7, 4, 2
+    A0 = stencil_3d(nx, ny, nz, ndof=ndof, seed=3)
+    n = A0.nrows
+    print(f"reservoir grid {nx}x{ny}x{nz}, {ndof} unknowns/cell -> n = {n}")
+
+    # --- one-off structure phase -------------------------------------
+    t0 = time.perf_counter()
+    om = prepare_matrix(A0)
+    sym = static_symbolic_factorization(om.A)
+    part = build_partition(sym, max_size=25, amalgamation=4)
+    t_struct = time.perf_counter() - t0
+    print(f"structure phase: {t_struct*1e3:.1f} ms "
+          f"({sym.factor_entries} predicted factor entries, {part.N} blocks)")
+
+    # --- Newton iteration: re-factor values on the fixed structure ----
+    state = np.zeros(n)
+    for step in range(4):
+        Ak_orig = perturb_values(A0, step)
+        # apply the *same* permutations computed once
+        Ak = Ak_orig.permute(row_perm=om.row_perm, col_perm=om.col_perm)
+        t0 = time.perf_counter()
+        lu = sstar_factor(Ak, sym=sym, part=part)
+        t_num = time.perf_counter() - t0
+
+        b = csr_matvec(Ak_orig, np.ones(n)) + 0.1 * state
+        z = lu.solve(b[om.row_perm])
+        x = np.empty(n)
+        x[om.col_perm] = z
+        resid = np.linalg.norm(csr_matvec(Ak_orig, x) - b) / np.linalg.norm(b)
+        state = x
+        print(
+            f"  newton step {step}: numeric factor {t_num*1e3:7.1f} ms, "
+            f"DGEMM share {lu.counter.fraction('dgemm'):.0%}, "
+            f"residual {resid:.2e}"
+        )
+        assert resid < 1e-9
+
+    print("pattern reused across all steps; only values were refactored.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Scaling study: 1D vs 2D codes across machine sizes (the Section 6 story).
+
+Sweeps processor counts on the simulated T3E for one suite matrix and
+prints modeled time, achieved MFLOPS (paper convention), speedup, load
+balance, and the async-over-sync gain — the condensed version of
+Tables 3/6/7 and Figs. 16-18.
+
+Run:  python examples/scaling_study.py [matrix] [scale]
+      e.g. python examples/scaling_study.py goodwin small
+"""
+
+import sys
+
+from repro.analysis import achieved_mflops, load_balance_factor
+from repro.analysis.loadbalance import update_work_by_rank
+from repro.api import ExperimentContext
+from repro.machine import T3E
+from repro.parallel import run_1d, run_2d
+
+
+def main():
+    name = sys.argv[1] if len(sys.argv) > 1 else "goodwin"
+    scale = sys.argv[2] if len(sys.argv) > 2 else "small"
+    ctx = ExperimentContext(name, scale=scale)
+    A, part, bstruct = ctx.ordered.A, ctx.part, ctx.bstruct
+    flops = ctx.superlu_flops
+    seq = ctx.sequential_factor()
+    t_seq = seq.counter.modeled_seconds(T3E)
+    print(f"matrix {name} ({scale}): n = {ctx.ordered.n}, "
+          f"blocks = {part.N}, sequential (modeled T3E) = {t_seq*1e3:.2f} ms")
+    print(f"{'P':>4} {'1D RAPID':>10} {'1D CA':>10} {'2D async':>10} "
+          f"{'2D sync':>10} {'spdup1D':>8} {'MF 2D':>8} {'lb 2D':>6} {'async gain':>10}")
+    for p in (2, 4, 8, 16, 32, 64):
+        t_ra = run_1d(A, part, bstruct, p, T3E, method="rapid",
+                      tg=ctx.taskgraph).parallel_seconds
+        t_ca = run_1d(A, part, bstruct, p, T3E, method="ca",
+                      tg=ctx.taskgraph).parallel_seconds
+        r2a = run_2d(A, part, bstruct, p, T3E, synchronous=False)
+        t_2a = r2a.parallel_seconds
+        t_2s = run_2d(A, part, bstruct, p, T3E, synchronous=True).parallel_seconds
+        lb = load_balance_factor(update_work_by_rank(r2a.sim))
+        print(
+            f"{p:>4} {t_ra*1e3:>8.2f}ms {t_ca*1e3:>8.2f}ms {t_2a*1e3:>8.2f}ms "
+            f"{t_2s*1e3:>8.2f}ms {t_seq/t_ra:>8.2f} "
+            f"{achieved_mflops(flops, t_2a):>8.1f} {lb:>6.2f} "
+            f"{1 - t_2a/t_2s:>+9.1%}"
+        )
+
+
+if __name__ == "__main__":
+    main()

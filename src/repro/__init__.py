@@ -1,0 +1,25 @@
+"""repro — S*: sparse LU factorization with partial pivoting on
+(simulated) distributed memory machines.
+
+A from-scratch reproduction of Fu, Jiao & Yang, *Efficient Sparse LU
+Factorization with Partial Pivoting on Distributed Memory Architectures*
+(SC'96 / IEEE TPDS 9(2), 1998).  See DESIGN.md for the system inventory and
+EXPERIMENTS.md for the paper-vs-measured results.
+
+Quick start::
+
+    import numpy as np
+    from repro.api import SStarSolver
+    from repro.matrices import get_matrix
+
+    A = get_matrix("sherman5")
+    solver = SStarSolver().factor(A)
+    b = np.ones(A.nrows)
+    x = solver.solve(b)
+"""
+
+from .api import SStarSolver, FactorizationReport, ExperimentContext
+
+__version__ = "1.0.0"
+
+__all__ = ["SStarSolver", "FactorizationReport", "ExperimentContext", "__version__"]

@@ -1,0 +1,24 @@
+"""Load-balance factor (Fig. 18): ``work_total / (P * work_max)``.
+
+Following the paper, only the *updating* work is counted — it dominates the
+computation — so the factor isolates how evenly the mapping spreads the
+GEMM payload, independent of pipeline stalls.
+"""
+
+from __future__ import annotations
+
+
+def load_balance_factor(per_rank_update_flops) -> float:
+    """``work_total / (P * work_max)`` over per-rank update-work tallies."""
+    work = list(per_rank_update_flops)
+    wmax = max(work) if work else 0.0
+    if wmax <= 0:
+        return 1.0
+    return sum(work) / (len(work) * wmax)
+
+
+def update_work_by_rank(sim_result, kernels=("dgemm",)) -> list:
+    """Extract per-rank update flops (DGEMM class) from a simulation."""
+    return [
+        sum(c.flops.get(k, 0.0) for k in kernels) for c in sim_result.counters
+    ]

@@ -1,0 +1,61 @@
+"""The paper's sequential performance model, Eqs. (1)-(4) of Section 6.1.
+
+With BLAS-2 speed ``w2`` (seconds/flop), BLAS-3 speed ``w3``, dynamic flop
+count ``C`` (SuperLU), static flop count ``C~`` (S*), DGEMM fraction ``r``
+and symbolic/numeric time ratio ``h``::
+
+    T_SuperLU = (1 + h) * w2 * C                      (1, 3)
+    T_S*      = ((1 - r) * w2 + r * w3) * C~          (2)
+    T_S*/T_SuperLU = ((1-r) w2 + r w3) / ((1+h) w2) * (C~/C)   (4)
+
+The paper measures h < 0.82, r ~ 0.65 and mean C~/C ~ 3.98, yielding
+predicted ratios ~0.65 on T3D and ~0.80 on T3E (0.48 / 0.42 for dense).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machine import MachineSpec
+
+
+@dataclass
+class SequentialModel:
+    """Evaluated Eq. (1)-(4) for one matrix on one machine."""
+
+    t_superlu: float
+    t_sstar: float
+    h: float
+    r: float
+    flop_ratio: float
+
+    @property
+    def time_ratio(self) -> float:
+        """T_S* / T_SuperLU (Eq. 4)."""
+        return self.t_sstar / self.t_superlu if self.t_superlu > 0 else float("inf")
+
+
+def sequential_time_model(
+    spec: MachineSpec,
+    superlu_flops: float,
+    sstar_flops: float,
+    dgemm_fraction: float,
+    h: float = 0.5,
+) -> SequentialModel:
+    """Evaluate the model with measured quantities.
+
+    ``h`` is the SuperLU symbolic/numeric time ratio; the paper bounds it by
+    0.82 for its matrices, and our SuperLU-like code reports a proxy
+    (DFS edge traversals vs flops) that callers can substitute.
+    """
+    w2 = 1.0 / spec.kernel_rate("dgemv")
+    w3 = 1.0 / spec.kernel_rate("dgemm")
+    t_superlu = (1.0 + h) * w2 * superlu_flops
+    t_sstar = ((1.0 - dgemm_fraction) * w2 + dgemm_fraction * w3) * sstar_flops
+    return SequentialModel(
+        t_superlu=t_superlu,
+        t_sstar=t_sstar,
+        h=h,
+        r=dgemm_fraction,
+        flop_ratio=sstar_flops / superlu_flops if superlu_flops else float("inf"),
+    )

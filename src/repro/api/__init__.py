@@ -1,0 +1,14 @@
+"""High-level public API."""
+
+from .solver import SStarSolver, FactorizationReport
+from .experiment import ExperimentContext
+from .validate import validate_matrix, format_report, CheckResult
+
+__all__ = [
+    "SStarSolver",
+    "FactorizationReport",
+    "ExperimentContext",
+    "validate_matrix",
+    "format_report",
+    "CheckResult",
+]

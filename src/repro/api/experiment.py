@@ -1,0 +1,106 @@
+"""Shared experiment plumbing for the benchmark harness.
+
+Every table/figure bench needs the same preprocessing (generate matrix,
+order, static symbolic, partition, dynamic baseline); an
+:class:`ExperimentContext` computes each stage lazily and caches it, so a
+bench module touches exactly the stages it reports on.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+from ..baselines import superlu_like_factor
+from ..matrices import get_matrix, SUITE
+from ..ordering import prepare_matrix
+from ..sparse import structural_symmetry, ata_pattern
+from ..supernodes import build_partition, build_block_structure
+from ..symbolic import (
+    static_symbolic_factorization,
+    cholesky_ata_structure,
+    structure_stats,
+)
+from ..taskgraph import build_task_graph
+
+
+class ExperimentContext:
+    """Lazily-computed pipeline stages for one suite matrix."""
+
+    def __init__(
+        self,
+        name: str,
+        scale: str = "small",
+        block_size: int = 25,
+        amalgamation: int = 4,
+    ):
+        self.name = name
+        self.scale = scale
+        self.block_size = block_size
+        self.amalgamation = amalgamation
+        self.spec = SUITE.get(name)
+
+    @cached_property
+    def A(self):
+        return get_matrix(self.name, self.scale)
+
+    @cached_property
+    def ordered(self):
+        return prepare_matrix(self.A)
+
+    @cached_property
+    def sym(self):
+        return static_symbolic_factorization(self.ordered.A)
+
+    @cached_property
+    def part(self):
+        return build_partition(
+            self.sym, max_size=self.block_size, amalgamation=self.amalgamation
+        )
+
+    @cached_property
+    def part_no_amalgamation(self):
+        return build_partition(self.sym, max_size=self.block_size, amalgamation=0)
+
+    @cached_property
+    def bstruct(self):
+        return build_block_structure(self.sym, self.part)
+
+    @cached_property
+    def bstruct_no_amalgamation(self):
+        return build_block_structure(self.sym, self.part_no_amalgamation)
+
+    @cached_property
+    def taskgraph(self):
+        return build_task_graph(self.bstruct)
+
+    @cached_property
+    def dynamic(self):
+        """The SuperLU-like dynamic factorization of the ordered matrix."""
+        return superlu_like_factor(self.ordered.A)
+
+    @cached_property
+    def superlu_flops(self) -> float:
+        """The paper's MFLOPS numerator: dynamic factorization flops."""
+        return self.dynamic.flops
+
+    @cached_property
+    def fill_stats(self):
+        """The Table 1 row for this matrix."""
+        chol = cholesky_ata_structure(ata_pattern(self.ordered.A))
+        return structure_stats(
+            self.name,
+            self.A,
+            self.sym,
+            self.dynamic.l_column_structures(),
+            self.dynamic.u_row_structures(),
+            chol,
+            structural_symmetry(self.A),
+        )
+
+    def sequential_factor(self, amalgamation: int = None):
+        from ..numfact import sstar_factor
+
+        part = self.part if amalgamation is None else build_partition(
+            self.sym, max_size=self.block_size, amalgamation=amalgamation
+        )
+        return sstar_factor(self.ordered.A, sym=self.sym, part=part)

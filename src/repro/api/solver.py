@@ -1,0 +1,207 @@
+"""``SStarSolver`` — the one-stop user-facing interface.
+
+Typical use::
+
+    from repro.api import SStarSolver
+    solver = SStarSolver().factor(A)          # A: repro.sparse.CSRMatrix
+    x = solver.solve(b)                       # backward-stable GEPP solve
+
+    # or run the factorization on a simulated 16-node T3E:
+    report = SStarSolver(nprocs=16, machine="T3E", method="2d").factor(A).report
+
+The solver owns the whole pipeline: maximum transversal, minimum-degree
+column ordering on AᵀA, static symbolic factorization, supernode partition
+with amalgamation, and the numeric factorization (sequential, 1D parallel,
+or 2D parallel on the simulated machine).  Permutations are applied and
+undone transparently, so ``solve`` works in the caller's coordinates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..machine import T3D, T3E, GENERIC, MachineSpec
+from ..numfact import LUFactorization, sstar_factor
+from ..ordering import prepare_matrix
+from ..sparse import CSRMatrix, dense_to_csr
+from ..supernodes import build_partition, build_block_structure
+from ..symbolic import static_symbolic_factorization
+
+_MACHINES = {"T3D": T3D, "T3E": T3E, "GENERIC": GENERIC}
+
+
+@dataclass
+class FactorizationReport:
+    """Statistics from a completed factorization."""
+
+    n: int
+    nnz: int
+    factor_entries: int
+    supernode_blocks: int
+    flops: float
+    dgemm_fraction: float
+    parallel_seconds: float = None  # simulated; None for sequential
+    nprocs: int = 1
+    messages: int = 0
+    bytes_sent: int = 0
+
+
+class SStarSolver:
+    """Sparse LU with partial pivoting via the S* approach.
+
+    Parameters
+    ----------
+    block_size:
+        Maximum supernode width (the paper uses 25).
+    amalgamation:
+        Amalgamation factor ``r`` (0 disables; the paper finds 4-6 best).
+    nprocs, machine, method:
+        Optional parallel execution on the simulated machine: ``method`` in
+        ``{"sequential", "1d-rapid", "1d-ca", "2d", "2d-sync"}``;
+        ``machine`` in ``{"T3D", "T3E", "GENERIC"}`` or a
+        :class:`repro.machine.MachineSpec`.
+    pivot_threshold:
+        Threshold-pivoting parameter ``u`` in (0, 1]; 1.0 (default) is pure
+        partial pivoting, smaller values keep the diagonal when
+        ``|a_kk| >= u * max`` — fewer interchanges, bounded extra growth.
+    backend:
+        Sequential storage backend: ``"blocks"`` (padded dense blocks, the
+        default) or ``"packed"`` (the paper's packed supernode panels,
+        ~half the memory; sequential method only).
+    """
+
+    def __init__(
+        self,
+        block_size: int = 25,
+        amalgamation: int = 4,
+        nprocs: int = 1,
+        machine="T3E",
+        method: str = "sequential",
+        pivot_threshold: float = 1.0,
+        backend: str = "blocks",
+    ):
+        self.block_size = block_size
+        self.amalgamation = amalgamation
+        self.nprocs = nprocs
+        self.method = method
+        self.pivot_threshold = pivot_threshold
+        self.backend = backend
+        self.spec = (
+            machine if isinstance(machine, MachineSpec) else _MACHINES[machine.upper()]
+        )
+        self._lu: LUFactorization = None
+        self._om = None
+        self.report: FactorizationReport = None
+        self.sim_result = None
+
+    # -- pipeline ------------------------------------------------------
+
+    def factor(self, A) -> "SStarSolver":
+        """Order + symbolically and numerically factor ``A``.
+
+        ``A`` may be a :class:`repro.sparse.CSRMatrix` or a dense ndarray.
+        """
+        if isinstance(A, np.ndarray):
+            A = dense_to_csr(A)
+        if not isinstance(A, CSRMatrix):
+            raise TypeError("A must be a CSRMatrix or dense ndarray")
+        om = prepare_matrix(A)
+        sym = static_symbolic_factorization(om.A)
+        part = build_partition(
+            sym, max_size=self.block_size, amalgamation=self.amalgamation
+        )
+        bstruct = build_block_structure(sym, part)
+
+        parallel_seconds = None
+        messages = bytes_sent = 0
+        if self.method == "sequential" or self.nprocs == 1:
+            if self.backend == "packed":
+                from ..numfact import packed_factor
+
+                lu = packed_factor(
+                    om.A, sym=sym, part=part,
+                    pivot_threshold=self.pivot_threshold,
+                )
+            elif self.backend == "blocks":
+                lu = sstar_factor(
+                    om.A, sym=sym, part=part,
+                    pivot_threshold=self.pivot_threshold,
+                )
+            else:
+                raise ValueError(f"unknown backend {self.backend!r}")
+            counter = lu.counter
+        elif self.method in ("1d-rapid", "1d-ca"):
+            from ..parallel import run_1d
+
+            res = run_1d(
+                om.A,
+                part,
+                bstruct,
+                self.nprocs,
+                self.spec,
+                method=self.method.split("-")[1],
+                pivot_threshold=self.pivot_threshold,
+            )
+            lu = LUFactorization(res.factor, sym, part, bstruct, res.sim.total_counter())
+            counter = lu.counter
+            parallel_seconds = res.parallel_seconds
+            messages, bytes_sent = res.sim.messages, res.sim.bytes_sent
+            self.sim_result = res.sim
+        elif self.method in ("2d", "2d-sync"):
+            from ..parallel import run_2d
+
+            res = run_2d(
+                om.A,
+                part,
+                bstruct,
+                self.nprocs,
+                self.spec,
+                synchronous=self.method.endswith("sync"),
+                pivot_threshold=self.pivot_threshold,
+            )
+            lu = LUFactorization(res.factor, sym, part, bstruct, res.sim.total_counter())
+            counter = lu.counter
+            parallel_seconds = res.parallel_seconds
+            messages, bytes_sent = res.sim.messages, res.sim.bytes_sent
+            self.sim_result = res.sim
+        else:
+            raise ValueError(f"unknown method {self.method!r}")
+
+        self._lu = lu
+        self._om = om
+        self.report = FactorizationReport(
+            n=A.nrows,
+            nnz=A.nnz,
+            factor_entries=sym.factor_entries,
+            supernode_blocks=part.N,
+            flops=counter.total,
+            dgemm_fraction=counter.fraction("dgemm"),
+            parallel_seconds=parallel_seconds,
+            nprocs=self.nprocs if self.method != "sequential" else 1,
+            messages=messages,
+            bytes_sent=bytes_sent,
+        )
+        return self
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Solve ``A x = b`` in the caller's original coordinates."""
+        if self._lu is None:
+            raise RuntimeError("call factor(A) first")
+        om = self._om
+        b = np.asarray(b, dtype=np.float64)
+        z = self._lu.solve(b[om.row_perm])
+        x = np.empty_like(z)
+        x[om.col_perm] = z
+        return x
+
+    @property
+    def factorization(self) -> LUFactorization:
+        """The underlying factor object (permuted coordinates)."""
+        return self._lu
+
+    @property
+    def ordering(self):
+        """The :class:`repro.ordering.OrderedMatrix` used."""
+        return self._om

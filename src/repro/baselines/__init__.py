@@ -1,0 +1,13 @@
+"""Reference factorizations the paper compares against.
+
+* :mod:`gepp` — scalar Gaussian elimination with partial pivoting (Fig. 1),
+  the correctness oracle for everything else.
+* :mod:`superlu_like` — a left-looking column LU with partial pivoting and
+  on-the-fly symbolic fill (the Gilbert-Peierls / SuperLU computational
+  pattern), providing the dynamic fill and op counts for Tables 1-2.
+"""
+
+from .gepp import dense_gepp, gepp_solve
+from .superlu_like import superlu_like_factor, DynamicLU
+
+__all__ = ["dense_gepp", "gepp_solve", "superlu_like_factor", "DynamicLU"]

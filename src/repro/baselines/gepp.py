@@ -1,0 +1,59 @@
+"""Scalar Gaussian elimination with partial pivoting (Fig. 1 of the paper).
+
+This is the algorithm every other code in the repository must agree with.
+It runs dense (the matrices used for oracle checks are small), returns the
+combined LU storage and the pivot vector, and provides a solver.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def dense_gepp(A):
+    """Factor a dense matrix with partial pivoting.
+
+    Returns ``(lu, ipiv)`` where ``lu`` holds L (strictly lower, unit
+    diagonal implicit) and U (upper), and ``ipiv[k]`` is the row swapped
+    with row ``k`` at step ``k`` (LAPACK getrf convention).
+
+    Raises ``np.linalg.LinAlgError`` on an exactly-singular pivot.
+    """
+    lu = np.array(A, dtype=np.float64, copy=True)
+    n = lu.shape[0]
+    if lu.shape != (n, n):
+        raise ValueError("square matrix required")
+    ipiv = np.empty(n, dtype=np.int64)
+    for k in range(n):
+        t = k + int(np.argmax(np.abs(lu[k:, k])))
+        if lu[t, k] == 0.0:
+            raise np.linalg.LinAlgError(f"singular at column {k}")
+        ipiv[k] = t
+        if t != k:
+            lu[[k, t], :] = lu[[t, k], :]
+        lu[k + 1 :, k] /= lu[k, k]
+        if k + 1 < n:
+            lu[k + 1 :, k + 1 :] -= np.outer(lu[k + 1 :, k], lu[k, k + 1 :])
+    return lu, ipiv
+
+
+def gepp_solve(lu, ipiv, b):
+    """Solve with factors from :func:`dense_gepp`.
+
+    ``dense_gepp`` swaps rows LAPACK-style (multipliers move retroactively
+    with their rows), so all interchanges must be applied to ``b`` *before*
+    the forward substitution — interleaving them would be wrong.
+    """
+    n = lu.shape[0]
+    x = np.asarray(b, dtype=np.float64).copy()
+    for k in range(n):
+        t = ipiv[k]
+        if t != k:
+            x[k], x[t] = x[t], x[k]
+    for k in range(n):
+        x[k + 1 :] -= lu[k + 1 :, k] * x[k]
+    for k in range(n - 1, -1, -1):
+        if k + 1 < n:
+            x[k] -= lu[k, k + 1 :] @ x[k + 1 :]
+        x[k] /= lu[k, k]
+    return x

@@ -1,0 +1,208 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``generate``   write a synthetic suite matrix as a MatrixMarket file
+``info``       structural statistics of a matrix (order, nnz, symmetry,
+               predicted fill vs dynamic fill)
+``factor``     run the S* factorization and print the report
+``solve``      factor and solve ``A x = b`` (random or file rhs)
+``simulate``   run a parallel factorization on the simulated T3D/T3E
+``validate``   run the full invariant battery on a matrix
+``suite``      list the built-in suite matrices
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _load(path):
+    from .sparse import read_matrix_market
+
+    return read_matrix_market(path)
+
+
+def cmd_generate(args) -> int:
+    from .matrices import get_matrix, SUITE
+    from .sparse import write_matrix_market
+
+    if args.name not in SUITE:
+        print(f"unknown matrix {args.name!r}; see `python -m repro suite`",
+              file=sys.stderr)
+        return 2
+    A = get_matrix(args.name, args.scale)
+    write_matrix_market(args.output, A, comment=f"repro suite {args.name} ({args.scale})")
+    print(f"wrote {args.output}: n={A.nrows}, nnz={A.nnz}")
+    return 0
+
+
+def cmd_info(args) -> int:
+    from .baselines import superlu_like_factor
+    from .ordering import prepare_matrix
+    from .sparse import structural_symmetry
+    from .symbolic import static_symbolic_factorization
+
+    A = _load(args.matrix)
+    print(f"matrix   : {args.matrix}")
+    print(f"order    : {A.nrows} x {A.ncols}")
+    print(f"nnz      : {A.nnz}")
+    print(f"symmetry : {structural_symmetry(A):.3f}  (1.0 = symmetric pattern)")
+    om = prepare_matrix(A, ordering=args.ordering)
+    sym = static_symbolic_factorization(om.A)
+    print(f"static factor entries (S*)      : {sym.factor_entries}")
+    if not args.skip_dynamic:
+        dyn = superlu_like_factor(om.A)
+        print(f"dynamic factor entries (SuperLU): {dyn.factor_entries}")
+        print(f"overestimation ratio            : "
+              f"{sym.factor_entries / max(dyn.factor_entries, 1):.2f}")
+    return 0
+
+
+def cmd_factor(args) -> int:
+    from . import SStarSolver
+
+    A = _load(args.matrix)
+    solver = SStarSolver(
+        block_size=args.block_size,
+        amalgamation=args.amalgamation,
+        pivot_threshold=args.threshold,
+    ).factor(A)
+    r = solver.report
+    print(f"n={r.n} nnz={r.nnz} blocks={r.supernode_blocks}")
+    print(f"factor entries : {r.factor_entries}")
+    print(f"flops          : {r.flops:.6g}")
+    print(f"dgemm fraction : {r.dgemm_fraction:.3f}")
+    print(f"interchanges   : {solver.factorization.num_interchanges()}")
+    return 0
+
+
+def cmd_solve(args) -> int:
+    from . import SStarSolver
+    from .analysis import backward_error, iterative_refinement
+    from .sparse import csr_matvec
+
+    A = _load(args.matrix)
+    if args.rhs:
+        b = np.loadtxt(args.rhs)
+    else:
+        rng = np.random.default_rng(args.seed)
+        b = rng.uniform(-1, 1, A.nrows)
+    solver = SStarSolver(pivot_threshold=args.threshold).factor(A)
+    if args.refine:
+        x, history = iterative_refinement(A, solver.solve, b)
+        print(f"refinement backward errors: "
+              + " -> ".join(f"{h:.2e}" for h in history))
+    else:
+        x = solver.solve(b)
+    resid = np.linalg.norm(csr_matvec(A, x) - b) / max(np.linalg.norm(b), 1e-300)
+    print(f"relative residual : {resid:.3e}")
+    print(f"backward error    : {backward_error(A, x, b):.3e}")
+    if args.output:
+        np.savetxt(args.output, x)
+        print(f"solution written to {args.output}")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    from . import SStarSolver
+
+    A = _load(args.matrix)
+    solver = SStarSolver(
+        nprocs=args.nprocs, method=args.method, machine=args.machine
+    ).factor(A)
+    r = solver.report
+    print(f"method={args.method} machine={args.machine} P={args.nprocs}")
+    print(f"modeled parallel time : {r.parallel_seconds:.6f} s")
+    print(f"messages / bytes      : {r.messages} / {r.bytes_sent}")
+    print(f"achieved MFLOPS (S* flops basis): "
+          f"{r.flops / r.parallel_seconds / 1e6:.1f}")
+    return 0
+
+
+def cmd_validate(args) -> int:
+    from .api import format_report, validate_matrix
+
+    A = _load(args.matrix)
+    results = validate_matrix(A, nprocs=args.nprocs,
+                              check_parallel=not args.skip_parallel)
+    print(format_report(results))
+    return 0 if all(r.passed for r in results) else 1
+
+
+def cmd_suite(args) -> int:
+    from .matrices import SUITE
+
+    print(f"{'name':12s} {'paper n':>8s} {'paper nnz':>10s} {'class':18s}")
+    for name, spec in SUITE.items():
+        print(f"{name:12s} {spec.paper_order:>8d} {spec.paper_nnz:>10d} "
+              f"{spec.kind:18s}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="S* sparse LU with partial pivoting (paper reproduction)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("generate", help="write a suite matrix to MatrixMarket")
+    g.add_argument("name")
+    g.add_argument("--scale", default="small", choices=["small", "bench"])
+    g.add_argument("-o", "--output", required=True)
+    g.set_defaults(func=cmd_generate)
+
+    i = sub.add_parser("info", help="structural statistics")
+    i.add_argument("matrix")
+    i.add_argument("--ordering", default="mindeg-ata",
+                   choices=["mindeg-ata", "mindeg-aplusat", "natural"])
+    i.add_argument("--skip-dynamic", action="store_true")
+    i.set_defaults(func=cmd_info)
+
+    f = sub.add_parser("factor", help="run the S* factorization")
+    f.add_argument("matrix")
+    f.add_argument("--block-size", type=int, default=25)
+    f.add_argument("--amalgamation", type=int, default=4)
+    f.add_argument("--threshold", type=float, default=1.0)
+    f.set_defaults(func=cmd_factor)
+
+    s = sub.add_parser("solve", help="factor and solve A x = b")
+    s.add_argument("matrix")
+    s.add_argument("--rhs", help="text file with the right-hand side")
+    s.add_argument("--seed", type=int, default=0)
+    s.add_argument("--threshold", type=float, default=1.0)
+    s.add_argument("--refine", action="store_true",
+                   help="apply iterative refinement")
+    s.add_argument("-o", "--output")
+    s.set_defaults(func=cmd_solve)
+
+    m = sub.add_parser("simulate", help="parallel run on the simulated machine")
+    m.add_argument("matrix")
+    m.add_argument("--nprocs", type=int, default=8)
+    m.add_argument("--method", default="2d",
+                   choices=["1d-rapid", "1d-ca", "2d", "2d-sync"])
+    m.add_argument("--machine", default="T3E", choices=["T3D", "T3E", "GENERIC"])
+    m.set_defaults(func=cmd_simulate)
+
+    v = sub.add_parser("validate", help="run the invariant battery on a matrix")
+    v.add_argument("matrix")
+    v.add_argument("--nprocs", type=int, default=4)
+    v.add_argument("--skip-parallel", action="store_true")
+    v.set_defaults(func=cmd_validate)
+
+    ls = sub.add_parser("suite", help="list built-in suite matrices")
+    ls.set_defaults(func=cmd_suite)
+    return p
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

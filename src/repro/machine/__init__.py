@@ -1,0 +1,31 @@
+"""Simulated distributed-memory machine.
+
+The paper ran on Cray T3D and T3E.  Offline Python cannot drive real MPI
+hardware at the fine message granularity the asynchronous S* codes need
+(see DESIGN.md), so this package provides a deterministic **discrete-event
+SPMD simulator**: ranks are Python generators that execute the *real*
+numerics; compute and communication advance per-rank virtual clocks priced
+by a :class:`MachineSpec` calibrated to the paper's published kernel and
+network figures.
+"""
+
+from .specs import MachineSpec, T3D, T3E, GENERIC
+from .simulator import (
+    Simulator,
+    Env,
+    SimResult,
+    DeadlockError,
+    TaskSpan,
+)
+
+__all__ = [
+    "MachineSpec",
+    "T3D",
+    "T3E",
+    "GENERIC",
+    "Simulator",
+    "Env",
+    "SimResult",
+    "DeadlockError",
+    "TaskSpan",
+]

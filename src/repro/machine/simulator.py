@@ -1,0 +1,328 @@
+"""Deterministic discrete-event SPMD simulator.
+
+Each rank is a Python **generator**: ordinary Python between yields runs the
+real numerics; ``compute``/``send`` advance the rank's *virtual clock*
+immediately, while ``recv`` and ``barrier`` yield control back to the
+scheduler until they can be satisfied.  Message arrival times are computed
+from the sender's clock with the machine spec's latency/bandwidth model, so
+timing is causally correct no matter in which host order ranks execute.
+
+Semantics (matching the shmem/RMA style the paper's codes rely on):
+
+* ``send`` is asynchronous one-sided put: the sender pays the per-message
+  overhead, the payload is deposited in the receiver's mailbox at
+  ``sender_clock + latency + bytes/bandwidth``;
+* ``recv(tag)`` blocks until a matching message exists and resumes at
+  ``max(local_clock, arrival)``; payloads are deep-copied at send time so
+  ranks never alias each other's memory;
+* tags must uniquely identify a logical transfer (step/stage/source); the
+  parallel codes in :mod:`repro.parallel` follow this discipline;
+* ``barrier`` synchronises all ranks at ``max(clocks) + barrier cost``.
+
+The simulator records per-rank busy time, message counts/bytes, and labeled
+task spans (used for Gantt charts, load-balance factors and the Theorem 2
+overlap-degree measurements).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..numfact.counter import KernelCounter
+from .specs import MachineSpec
+
+
+class DeadlockError(RuntimeError):
+    """All ranks are blocked and no message can satisfy any of them."""
+
+
+@dataclass
+class TaskSpan:
+    """A labeled interval of work on one rank (for Gantt/overlap analysis)."""
+
+    rank: int
+    label: str
+    start: float
+    end: float
+
+
+class _RecvRequest:
+    __slots__ = ("tag",)
+
+    def __init__(self, tag):
+        self.tag = tag
+
+
+class _BarrierRequest:
+    __slots__ = ()
+
+
+def _payload_nbytes(payload) -> int:
+    """Estimate the wire size of a payload (ndarray-aware, recursive)."""
+    if payload is None:
+        return 8
+    if isinstance(payload, np.ndarray):
+        return payload.nbytes
+    if isinstance(payload, (int, float, np.integer, np.floating)):
+        return 8
+    if isinstance(payload, (tuple, list)):
+        return 16 + sum(_payload_nbytes(p) for p in payload)
+    if isinstance(payload, dict):
+        return 16 + sum(8 + _payload_nbytes(v) for v in payload.values())
+    if isinstance(payload, str):
+        return len(payload)
+    return 64
+
+
+def _copy_payload(payload):
+    """Deep-copy the ndarray parts of a payload (no aliasing across ranks)."""
+    if isinstance(payload, np.ndarray):
+        return payload.copy()
+    if isinstance(payload, tuple):
+        return tuple(_copy_payload(p) for p in payload)
+    if isinstance(payload, list):
+        return [_copy_payload(p) for p in payload]
+    if isinstance(payload, dict):
+        return {k: _copy_payload(v) for k, v in payload.items()}
+    return payload
+
+
+class Env:
+    """Per-rank handle passed to SPMD programs."""
+
+    def __init__(self, sim: "Simulator", rank: int):
+        self._sim = sim
+        self.rank = rank
+        self.clock = 0.0
+        self.busy = 0.0
+        self.counter = KernelCounter()
+        self.sent_messages = 0
+        self.sent_bytes = 0
+        self.spans = []
+
+    @property
+    def nprocs(self) -> int:
+        return self._sim.nprocs
+
+    @property
+    def spec(self) -> MachineSpec:
+        return self._sim.spec
+
+    # -- compute -----------------------------------------------------------
+
+    def compute(self, kernel: str, nflops: float, gran=None) -> None:
+        """Charge ``nflops`` at the spec's rate for ``kernel`` operating at
+        block granularity ``gran`` (None = nominal rate)."""
+        if nflops <= 0:
+            return
+        dt = self._sim.spec.compute_seconds(kernel, nflops, gran)
+        self.clock += dt
+        self.busy += dt
+        self.counter.add(kernel, nflops, gran)
+
+    def compute_counted(self, counter_before: dict) -> None:
+        """Charge the *difference* between the rank counter and a snapshot —
+        convenient when numeric kernels already did their own accounting."""
+        for key, v in self.counter.by_gran.items():
+            prev = counter_before.get(key, 0.0)
+            if v > prev:
+                kernel, gran = key
+                dt = self._sim.spec.compute_seconds(kernel, v - prev, gran)
+                self.clock += dt
+                self.busy += dt
+
+    def snapshot(self) -> dict:
+        return dict(self.counter.by_gran)
+
+    # -- communication -----------------------------------------------------
+
+    def send(self, dest: int, tag, payload, nbytes: int = None) -> None:
+        """One-sided put to ``dest``; sender pays the overhead."""
+        if dest == self.rank:
+            # local deposit: no network cost
+            self._sim._deposit(dest, tag, self.clock, self.rank, _copy_payload(payload))
+            return
+        nbytes = _payload_nbytes(payload) if nbytes is None else nbytes
+        spec = self._sim.spec
+        self.clock += spec.latency_s
+        arrival = self.clock + nbytes / spec.bandwidth_bps
+        self.sent_messages += 1
+        self.sent_bytes += nbytes
+        self._sim._deposit(dest, tag, arrival, self.rank, _copy_payload(payload))
+
+    def multicast(self, dests, tag, payload, nbytes: int = None) -> None:
+        """Sequential puts to each destination (shmem-style multicast)."""
+        for d in dests:
+            if d != self.rank:
+                self.send(d, tag, payload, nbytes=nbytes)
+
+    def recv(self, tag):
+        """Yieldable: block until a message tagged ``tag`` is available."""
+        return _RecvRequest(tag)
+
+    def barrier(self):
+        """Yieldable: global barrier."""
+        return _BarrierRequest()
+
+    # -- tracing -----------------------------------------------------------
+
+    def span(self, label: str, start: float, end: float = None) -> None:
+        """Record a labeled task interval ending at the current clock."""
+        self.spans.append(
+            TaskSpan(self.rank, label, start, self.clock if end is None else end)
+        )
+
+
+@dataclass
+class SimResult:
+    """Outcome of a simulated run."""
+
+    total_time: float
+    rank_clocks: list
+    rank_busy: list
+    counters: list  # per-rank KernelCounter
+    spans: list  # all TaskSpans
+    messages: int
+    bytes_sent: int
+    returns: list  # per-rank program return values
+
+    @property
+    def nprocs(self) -> int:
+        return len(self.rank_clocks)
+
+    def total_counter(self) -> KernelCounter:
+        c = KernelCounter()
+        for rc in self.counters:
+            c.merge(rc)
+        return c
+
+    def load_balance_factor(self) -> float:
+        """work_total / (P * work_max) over per-rank busy time (Fig. 18)."""
+        wmax = max(self.rank_busy)
+        if wmax <= 0:
+            return 1.0
+        return sum(self.rank_busy) / (len(self.rank_busy) * wmax)
+
+
+class Simulator:
+    """Run ``nprocs`` SPMD generator programs under a machine spec."""
+
+    def __init__(self, nprocs: int, spec: MachineSpec, program, args=()):
+        """``program(env, *args)`` must return a generator (it may also be a
+        plain function for compute-only ranks)."""
+        self.nprocs = nprocs
+        self.spec = spec
+        self._mailboxes = {}  # (dest, tag) -> heap of (arrival, seq, payload)
+        self._seq = 0
+        self.envs = [Env(self, r) for r in range(nprocs)]
+        self._programs = [program(self.envs[r], *args) for r in range(nprocs)]
+
+    # -- mailbox -----------------------------------------------------------
+
+    def _deposit(self, dest, tag, arrival, src, payload):
+        self._seq += 1
+        heapq.heappush(
+            self._mailboxes.setdefault((dest, tag), []),
+            (arrival, self._seq, payload),
+        )
+
+    def _try_fetch(self, dest, tag):
+        box = self._mailboxes.get((dest, tag))
+        if box:
+            arrival, _, payload = heapq.heappop(box)
+            if not box:
+                del self._mailboxes[(dest, tag)]
+            return arrival, payload
+        return None
+
+    # -- main loop ---------------------------------------------------------
+
+    def run(self) -> SimResult:
+        READY, RECV, BARRIER, DONE = 0, 1, 2, 3
+        state = [READY] * self.nprocs
+        waiting_tag = [None] * self.nprocs
+        returns = [None] * self.nprocs
+
+        def resume(r, value=None):
+            """Advance rank r's generator until it blocks or finishes."""
+            gen = self._programs[r]
+            try:
+                if not hasattr(gen, "send"):
+                    # plain function already ran at construction
+                    state[r] = DONE
+                    return
+                req = gen.send(value)
+            except StopIteration as stop:
+                state[r] = DONE
+                returns[r] = stop.value
+                return
+            if isinstance(req, _RecvRequest):
+                state[r] = RECV
+                waiting_tag[r] = req.tag
+            elif isinstance(req, _BarrierRequest):
+                state[r] = BARRIER
+            else:
+                raise TypeError(
+                    f"rank {r} yielded {req!r}; yield env.recv(...) or env.barrier()"
+                )
+
+        for r in range(self.nprocs):
+            resume(r)
+
+        while True:
+            progressed = False
+            # satisfy receivers
+            for r in range(self.nprocs):
+                if state[r] == RECV:
+                    got = self._try_fetch(r, waiting_tag[r])
+                    if got is not None:
+                        arrival, payload = got
+                        env = self.envs[r]
+                        env.clock = max(env.clock, arrival)
+                        state[r] = READY
+                        waiting_tag[r] = None
+                        resume(r, payload)
+                        progressed = True
+            if progressed:
+                continue
+            # barrier: everyone not DONE must be at the barrier
+            at_barrier = [r for r in range(self.nprocs) if state[r] == BARRIER]
+            live = [r for r in range(self.nprocs) if state[r] != DONE]
+            if at_barrier and len(at_barrier) == len(live):
+                t = max(self.envs[r].clock for r in at_barrier)
+                t += self.spec.barrier_seconds(self.nprocs)
+                for r in at_barrier:
+                    self.envs[r].clock = t
+                    state[r] = READY
+                for r in at_barrier:
+                    resume(r)
+                continue
+            if not live:
+                break
+            blocked = [r for r in live if state[r] in (RECV, BARRIER)]
+            if len(blocked) == len(live):
+                detail = ", ".join(
+                    f"rank {r} waiting on "
+                    + (f"tag {waiting_tag[r]!r}" if state[r] == RECV else "barrier")
+                    for r in blocked
+                )
+                raise DeadlockError(f"simulation deadlock: {detail}")
+            # should not happen: READY ranks are resumed inside resume()
+            raise AssertionError("scheduler invariant violated")
+
+        spans = []
+        for env in self.envs:
+            spans.extend(env.spans)
+        return SimResult(
+            total_time=max(env.clock for env in self.envs) if self.envs else 0.0,
+            rank_clocks=[env.clock for env in self.envs],
+            rank_busy=[env.busy for env in self.envs],
+            counters=[env.counter for env in self.envs],
+            spans=spans,
+            messages=sum(env.sent_messages for env in self.envs),
+            bytes_sent=sum(env.sent_bytes for env in self.envs),
+            returns=returns,
+        )

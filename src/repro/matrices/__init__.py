@@ -1,0 +1,36 @@
+"""Synthetic benchmark-matrix suite.
+
+The paper evaluates on Harwell-Boeing / Davis-collection matrices
+(sherman5, lns3937, goodwin, vavasis3, ...).  Those files are not available
+offline, so this package generates deterministic synthetic analogues that
+match each matrix's *class* (reservoir stencil, CFD, FEM, circuit), its
+structural symmetry regime, and — scaled down — its order and density.
+See DESIGN.md ("Substitutions") for the fidelity argument.
+"""
+
+from .generators import (
+    stencil_2d,
+    stencil_3d,
+    fem_unstructured,
+    circuit_like,
+    dense_matrix,
+    random_nonsymmetric,
+    block_structured,
+    nearly_dense_row,
+)
+from .suite import SUITE, MatrixSpec, get_matrix, suite_names
+
+__all__ = [
+    "stencil_2d",
+    "stencil_3d",
+    "fem_unstructured",
+    "circuit_like",
+    "dense_matrix",
+    "random_nonsymmetric",
+    "block_structured",
+    "nearly_dense_row",
+    "SUITE",
+    "MatrixSpec",
+    "get_matrix",
+    "suite_names",
+]

@@ -1,0 +1,303 @@
+"""Deterministic generators for nonsymmetric sparse test matrices.
+
+Each generator mirrors one *class* of matrix from the paper's Table 1:
+
+=================  =============================================
+generator          paper matrices in that class
+=================  =============================================
+:func:`stencil_3d` sherman5, sherman3, orsreg1, saylr4 (oil
+                   reservoir, 3D finite differences)
+:func:`stencil_2d` lnsp3937 / lns3937 (linearised Navier-Stokes)
+:func:`fem_unstructured`  goodwin, e40r0100, ex11, raefsky4,
+                   inaccura, af23560 (FEM fluid / structures)
+:func:`circuit_like`      jpwh991 (circuit physics)
+:func:`block_structured`  vavasis3 (PDE with mixed row densities)
+:func:`dense_matrix`      dense1000
+=================  =============================================
+
+All generators take a ``seed`` and are fully deterministic.  Values are
+chosen so matrices are numerically nonsingular and genuinely require row
+interchanges (off-diagonal entries can dominate), which exercises the
+partial-pivoting machinery rather than letting the diagonal always win.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse import coo_to_csr, CSRMatrix
+
+
+def _assemble(n, rows, cols, vals) -> CSRMatrix:
+    return coo_to_csr(n, n, np.asarray(rows), np.asarray(cols), np.asarray(vals))
+
+
+def stencil_2d(
+    nx: int,
+    ny: int,
+    convection: float = 2.0,
+    pattern_nonsym: float = 0.35,
+    seed: int = 0,
+) -> CSRMatrix:
+    """Nonsymmetric 2D convection-diffusion operator on an ``nx x ny`` grid.
+
+    Five-point Laplacian plus an upwinded convection term with randomly
+    varying direction.  A fraction ``pattern_nonsym`` of the grid couplings
+    is kept one-sided (strong upwinding drops the downwind coupling), making
+    the *pattern* itself nonsymmetric — the lnsp3937/lns3937 regime, whose
+    Table 1 symmetry statistic is far above 1.
+    """
+    rng = np.random.default_rng(seed)
+    n = nx * ny
+    rows, cols, vals = [], [], []
+
+    def idx(i, j):
+        return i * ny + j
+
+    for i in range(nx):
+        for j in range(ny):
+            p = idx(i, j)
+            rows.append(p)
+            cols.append(p)
+            vals.append(4.0 + rng.uniform(-0.3, 0.3))
+            for di, dj in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+                ii, jj = i + di, j + dj
+                if 0 <= ii < nx and 0 <= jj < ny:
+                    # drop the downwind half of one-sided couplings
+                    if (di + dj) < 0 and rng.uniform() < pattern_nonsym:
+                        continue
+                    c = convection * rng.uniform(0.0, 1.0)
+                    sign = 1.0 if (di + dj) > 0 else -1.0
+                    rows.append(p)
+                    cols.append(idx(ii, jj))
+                    vals.append(-1.0 + sign * c)
+    return _assemble(n, rows, cols, vals)
+
+
+def stencil_3d(
+    nx: int,
+    ny: int,
+    nz: int,
+    ndof: int = 1,
+    anisotropy: float = 1.5,
+    seed: int = 0,
+) -> CSRMatrix:
+    """Nonsymmetric 3D reservoir-simulation stencil.
+
+    Seven-point finite differences with ``ndof`` unknowns per cell (black-oil
+    models couple pressure/saturation unknowns — sherman5 has ``ndof > 1``
+    style coupling, orsreg1/saylr4 have ``ndof = 1``).  Inter-cell couplings
+    are scaled asymmetrically (upstream weighting), so values are
+    nonsymmetric while the pattern is close to symmetric.
+    """
+    rng = np.random.default_rng(seed)
+    ncell = nx * ny * nz
+    n = ncell * ndof
+    rows, cols, vals = [], [], []
+
+    def cell(i, j, k):
+        return (i * ny + j) * nz + k
+
+    for i in range(nx):
+        for j in range(ny):
+            for k in range(nz):
+                c = cell(i, j, k)
+                # dense ndof x ndof diagonal coupling block
+                for a in range(ndof):
+                    for b in range(ndof):
+                        rows.append(c * ndof + a)
+                        cols.append(c * ndof + b)
+                        vals.append(
+                            6.0 + rng.uniform(-0.2, 0.2)
+                            if a == b
+                            else rng.uniform(-0.8, 0.8)
+                        )
+                for di, dj, dk in (
+                    (-1, 0, 0),
+                    (1, 0, 0),
+                    (0, -1, 0),
+                    (0, 1, 0),
+                    (0, 0, -1),
+                    (0, 0, 1),
+                ):
+                    ii, jj, kk = i + di, j + dj, k + dk
+                    if 0 <= ii < nx and 0 <= jj < ny and 0 <= kk < nz:
+                        c2 = cell(ii, jj, kk)
+                        upstream = 1.0 if (di + dj + dk) > 0 else 1.0 / anisotropy
+                        for a in range(ndof):
+                            rows.append(c * ndof + a)
+                            cols.append(c2 * ndof + a)
+                            vals.append(-upstream * (1.0 + rng.uniform(0, 0.5)))
+    return _assemble(n, rows, cols, vals)
+
+
+def fem_unstructured(
+    n: int, avg_degree: int = 8, nonsym: float = 0.3, seed: int = 0
+) -> CSRMatrix:
+    """Unstructured FEM-like matrix (goodwin / e40r0100 regime).
+
+    Nodes are placed at random 2D coordinates; each node couples to its
+    nearest neighbours (a proxy for a triangulation), producing the clustered
+    irregular pattern of FEM fluid problems.  A fraction ``nonsym`` of the
+    off-diagonal entries is dropped one-sidedly so the *pattern itself* is
+    nonsymmetric, like goodwin.
+    """
+    rng = np.random.default_rng(seed)
+    pts = rng.uniform(0.0, 1.0, size=(n, 2))
+    # grid-bucket nearest neighbours: O(n) expected
+    nbuckets = max(1, int(np.sqrt(n / 4)))
+    buckets = {}
+    for p in range(n):
+        key = (int(pts[p, 0] * nbuckets), int(pts[p, 1] * nbuckets))
+        buckets.setdefault(key, []).append(p)
+    rows, cols, vals = [], [], []
+    k_neigh = max(2, avg_degree // 2)
+    pairs = set()
+    for p in range(n):
+        bx = int(pts[p, 0] * nbuckets)
+        by = int(pts[p, 1] * nbuckets)
+        cand = []
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                cand.extend(buckets.get((bx + dx, by + dy), ()))
+        cand = np.asarray([q for q in cand if q != p], dtype=np.int64)
+        if len(cand) == 0:
+            continue
+        d2 = np.sum((pts[cand] - pts[p]) ** 2, axis=1)
+        for q in cand[np.argsort(d2)[:k_neigh]]:
+            pairs.add((min(p, int(q)), max(p, int(q))))
+    # emit each mesh edge once: with probability ``nonsym`` only one
+    # direction is kept (upwinded convective coupling), else both.
+    for p, q in sorted(pairs):
+        one_sided = rng.uniform() < nonsym
+        if one_sided and rng.uniform() < 0.5:
+            p, q = q, p
+        rows.append(p)
+        cols.append(q)
+        vals.append(-1.0 - rng.uniform(0, 1.0))
+        if not one_sided:
+            rows.append(q)
+            cols.append(p)
+            vals.append(-1.0 - rng.uniform(0, 1.0))
+    for p in range(n):
+        rows.append(p)
+        cols.append(p)
+        vals.append(avg_degree + rng.uniform(0.0, 2.0))
+    return _assemble(n, rows, cols, vals)
+
+
+def circuit_like(n: int, fanout: int = 3, seed: int = 0) -> CSRMatrix:
+    """Circuit-simulation matrix (jpwh991 regime): mostly very sparse rows
+    from local device stamps, plus a few higher-degree net rows (supply
+    rails), numerically nonsymmetric."""
+    rng = np.random.default_rng(seed)
+    rows, cols, vals = [], [], []
+    for p in range(n):
+        rows.append(p)
+        cols.append(p)
+        vals.append(2.0 + rng.uniform(0, 1.0))
+        for _ in range(rng.integers(1, fanout + 1)):
+            q = int(rng.integers(0, n))
+            if q != p:
+                rows.append(p)
+                cols.append(q)
+                vals.append(rng.uniform(-1.5, 1.5))
+                if rng.uniform() < 0.7:
+                    rows.append(q)
+                    cols.append(p)
+                    vals.append(rng.uniform(-1.5, 1.5))
+    # a few global rails touching many nodes
+    nrails = max(1, n // 200)
+    for r in range(nrails):
+        rail = int(rng.integers(0, n))
+        touched = rng.choice(n, size=min(n, 20), replace=False)
+        for q in touched:
+            if q != rail:
+                rows.append(rail)
+                cols.append(int(q))
+                vals.append(rng.uniform(-0.5, 0.5))
+    return _assemble(n, rows, cols, vals)
+
+
+def block_structured(
+    n: int, block: int = 40, bandwidth: int = 3, seed: int = 0
+) -> CSRMatrix:
+    """Block-banded PDE-style matrix with mixed dense/sparse blocks
+    (vavasis3 regime)."""
+    rng = np.random.default_rng(seed)
+    nb = (n + block - 1) // block
+    rows, cols, vals = [], [], []
+    for bi in range(nb):
+        r0 = bi * block
+        r1 = min(n, r0 + block)
+        for bj in range(max(0, bi - bandwidth), min(nb, bi + bandwidth + 1)):
+            c0 = bj * block
+            c1 = min(n, c0 + block)
+            density = 0.9 if bi == bj else rng.uniform(0.05, 0.3)
+            cnt = max(1, int(density * (r1 - r0) * (c1 - c0) / max(1, abs(bi - bj) + 1)))
+            rr = rng.integers(r0, r1, size=cnt)
+            cc = rng.integers(c0, c1, size=cnt)
+            vv = rng.uniform(-1.0, 1.0, size=cnt)
+            rows.extend(rr.tolist())
+            cols.extend(cc.tolist())
+            vals.extend(vv.tolist())
+    for p in range(n):
+        rows.append(p)
+        cols.append(p)
+        vals.append(block / 4.0 + rng.uniform(0, 1.0))
+    return _assemble(n, rows, cols, vals)
+
+
+def dense_matrix(n: int, seed: int = 0) -> CSRMatrix:
+    """Fully dense nonsymmetric matrix (the paper's ``dense1000``)."""
+    rng = np.random.default_rng(seed)
+    D = rng.uniform(-1.0, 1.0, size=(n, n))
+    D += np.diag(np.full(n, 0.5))  # keep it comfortably nonsingular
+    rows, cols = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+    return _assemble(n, rows.ravel(), cols.ravel(), D.ravel())
+
+
+def random_nonsymmetric(
+    n: int, density: float = 0.02, seed: int = 0, zero_free_diagonal: bool = True
+) -> CSRMatrix:
+    """Uniformly random sparse nonsymmetric matrix (property-test fodder)."""
+    rng = np.random.default_rng(seed)
+    nnz = max(n, int(density * n * n))
+    rows = rng.integers(0, n, size=nnz)
+    cols = rng.integers(0, n, size=nnz)
+    vals = rng.uniform(-2.0, 2.0, size=nnz)
+    if zero_free_diagonal:
+        rows = np.concatenate([rows, np.arange(n)])
+        cols = np.concatenate([cols, np.arange(n)])
+        vals = np.concatenate([vals, rng.uniform(1.0, 3.0, size=n)])
+    return _assemble(n, rows, cols, vals)
+
+
+def nearly_dense_row(
+    n: int, row_fill: float = 0.7, base_density: float = 0.01, seed: int = 0
+) -> CSRMatrix:
+    """A sparse matrix with one nearly dense row — the memplus pathology.
+
+    The paper notes static symbolic factorization "could fail to be
+    practical if the input matrix has a nearly dense row because it will
+    lead to an almost complete fill-in of the whole matrix" (memplus
+    overestimates SuperLU's fill 119x under the AtA ordering, 2.34x under
+    A+At).  This generator reproduces that regime for the ordering
+    ablation.
+    """
+    rng = np.random.default_rng(seed)
+    nnz = max(n, int(base_density * n * n))
+    rows = rng.integers(0, n, size=nnz).tolist()
+    cols = rng.integers(0, n, size=nnz).tolist()
+    vals = rng.uniform(-1.0, 1.0, size=nnz).tolist()
+    dense_row = int(rng.integers(0, n))
+    touched = rng.choice(n, size=int(row_fill * n), replace=False)
+    for c in touched:
+        rows.append(dense_row)
+        cols.append(int(c))
+        vals.append(rng.uniform(-1.0, 1.0))
+    for p in range(n):
+        rows.append(p)
+        cols.append(p)
+        vals.append(3.0 + rng.uniform(0, 1.0))
+    return _assemble(n, rows, cols, vals)

@@ -1,0 +1,44 @@
+"""Numerical factorization: block storage, kernels, Factor/Update tasks,
+the sequential S* driver and triangular solvers (Section 4, Figs. 6-8)."""
+
+from .counter import KernelCounter
+from .kernels import (
+    unit_lower_solve,
+    upper_solve,
+    FLOP_GEMM,
+    FLOP_TRSM,
+)
+from .blocks import BlockLUMatrix, StructureViolation, SingularMatrixError
+from .tasks import (
+    factor_block_column,
+    update_block_column,
+    apply_pivots_to_column,
+    factored_column_of,
+    FactoredColumn,
+)
+from .sequential import sstar_factor, LUFactorization
+from .serialize import save_factorization, load_factorization
+from .packed import packed_factor, PackedLUMatrix, PackedFactorization
+
+__all__ = [
+    "KernelCounter",
+    "unit_lower_solve",
+    "upper_solve",
+    "FLOP_GEMM",
+    "FLOP_TRSM",
+    "BlockLUMatrix",
+    "StructureViolation",
+    "SingularMatrixError",
+    "factor_block_column",
+    "update_block_column",
+    "apply_pivots_to_column",
+    "factored_column_of",
+    "FactoredColumn",
+    "sstar_factor",
+    "LUFactorization",
+    "save_factorization",
+    "load_factorization",
+    "packed_factor",
+    "PackedLUMatrix",
+    "PackedFactorization",
+]

@@ -1,0 +1,410 @@
+"""Packed supernode-panel storage — the paper's production data structure.
+
+The dense-block backend (:mod:`blocks`) allocates every nonzero submatrix
+fully, padding structurally-zero positions with exact zeros; that is simple
+and provably safe but stores and multiplies padding.  The real S* code packs
+each panel the way Section 3.2 describes:
+
+* an **L segment** of block ``(I, J)`` stores only the structural rows
+  ``lrows(I, J)`` as a dense ``len(rows) x bs_J`` array (supernode
+  nestedness makes those rows common to all columns; amalgamation padding
+  rows are included — they are the "almost dense" cost);
+* a **U segment** of block ``(K, J)`` stores only the Theorem-1 dense
+  subcolumns ``udense(K, J)`` as a dense ``bs_K x len(cols)`` array;
+* the diagonal block is dense.
+
+Updates become GEMM + **scatter-add** (the packed contribution's rows and
+columns are guaranteed by George-Ng to be subsets of the target segment's),
+exactly the supernodal scatter phase of production sparse codes.  The
+backend produces the same pivot sequence as the dense-block backend and
+solutions agreeing to machine precision (BLAS may round differently for
+different operand shapes, so bitwise equality is not guaranteed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sparse import CSRMatrix
+from ..supernodes import BlockPartition, BlockStructure, build_partition, build_block_structure
+from ..symbolic import static_symbolic_factorization, SymbolicFactorization
+from .blocks import SingularMatrixError, StructureViolation
+from .counter import KernelCounter, DGEMM, DGEMV, BLAS1
+from .kernels import unit_lower_solve, upper_solve
+
+
+@dataclass
+class _USegment:
+    cols: np.ndarray  # global column ids of the dense subcolumns
+    data: np.ndarray  # (bs_I, len(cols))
+
+
+@dataclass
+class _LSegment:
+    rows: np.ndarray  # global row positions stored
+    data: np.ndarray  # (len(rows), bs_J)
+
+
+class PackedLUMatrix:
+    """Column-block packed storage of the static structure."""
+
+    def __init__(self, part: BlockPartition, bstruct: BlockStructure):
+        self.part = part
+        self.bstruct = bstruct
+        self.n = part.n
+        self.pivot_seq = [None] * part.N
+        # per block column J:
+        self.diag = {}      # J -> (bs, bs) dense
+        self.lsegs = {}     # (I, J), I > J -> _LSegment
+        self.usegs = {}     # (I, J), I < J -> _USegment
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def from_csr(
+        cls, A: CSRMatrix, part: BlockPartition, bstruct: BlockStructure
+    ) -> "PackedLUMatrix":
+        m = cls(part, bstruct)
+        for J in range(part.N):
+            m.diag[J] = np.zeros((part.size(J), part.size(J)))
+        for (I, J), rows in bstruct.lrows.items():
+            if I > J:
+                m.lsegs[(I, J)] = _LSegment(
+                    rows=rows, data=np.zeros((len(rows), part.size(J)))
+                )
+        for (I, J), cols in bstruct.udense_cols.items():
+            m.usegs[(I, J)] = _USegment(
+                cols=cols, data=np.zeros((part.size(I), len(cols)))
+            )
+        block_of = part.block_of
+        bounds = part.bounds
+        for i in range(A.nrows):
+            cidx, vals = A.row(i)
+            I = int(block_of[i])
+            for c, v in zip(cidx, vals):
+                J = int(block_of[c])
+                if I == J:
+                    m.diag[I][i - bounds[I], c - bounds[J]] = v
+                elif I > J:
+                    seg = m.lsegs.get((I, J))
+                    pos = None
+                    if seg is not None:
+                        p = np.searchsorted(seg.rows, i)
+                        if p < len(seg.rows) and seg.rows[p] == i:
+                            pos = p
+                    if pos is None:
+                        raise StructureViolation(
+                            f"entry ({i},{c}) outside packed L structure"
+                        )
+                    seg.data[pos, c - bounds[J]] = v
+                else:
+                    seg = m.usegs.get((I, J))
+                    pos = None
+                    if seg is not None:
+                        p = np.searchsorted(seg.cols, c)
+                        if p < len(seg.cols) and seg.cols[p] == c:
+                            pos = p
+                    if pos is None:
+                        raise StructureViolation(
+                            f"entry ({i},{c}) outside packed U structure"
+                        )
+                    seg.data[i - bounds[I], pos] = v
+        return m
+
+    # -- memory ----------------------------------------------------------
+
+    def storage_bytes(self) -> int:
+        total = sum(d.nbytes for d in self.diag.values())
+        total += sum(s.data.nbytes for s in self.lsegs.values())
+        total += sum(s.data.nbytes for s in self.usegs.values())
+        return total
+
+    # -- row access for pivot swaps ---------------------------------------
+
+    def _row_handle(self, J: int, pos: int):
+        """Locate the packed row of block column ``J`` at global position
+        ``pos``: returns ``(view, local_cols)`` where ``local_cols`` is None
+        for full-width rows (diag/L segments) or the stored local column
+        ids for a subcolumn-packed U segment; ``(None, None)`` when the row
+        is structurally zero."""
+        part = self.part
+        I = int(part.block_of[pos])
+        o = pos - part.start(I)
+        if I == J:
+            return self.diag[J][o], None
+        if I > J:
+            seg = self.lsegs.get((I, J))
+            if seg is None:
+                return None, None
+            p = np.searchsorted(seg.rows, pos)
+            if p < len(seg.rows) and seg.rows[p] == pos:
+                return seg.data[p], None
+            return None, None
+        seg = self.usegs.get((I, J))
+        if seg is None:
+            return None, None
+        return seg.data[o], seg.cols - part.start(J)
+
+    def _expand(self, J: int, view, cols):
+        """Full-width copy of a packed row."""
+        if view is None:
+            return np.zeros(self.part.size(J))
+        if cols is None:
+            return view.copy()
+        full = np.zeros(self.part.size(J))
+        full[cols] = view
+        return full
+
+    def _store(self, J: int, pos: int, view, cols, full) -> None:
+        """Write a full-width row back into packed form; anything nonzero
+        outside the stored columns violates the static structure."""
+        if view is None:
+            if np.any(full):
+                raise StructureViolation(
+                    f"packed swap would fill structurally zero row {pos} "
+                    f"of column {J}"
+                )
+            return
+        if cols is None:
+            view[:] = full
+            return
+        view[:] = full[cols]
+        mask = np.ones(len(full), dtype=bool)
+        mask[cols] = False
+        if np.any(full[mask]):
+            raise StructureViolation(
+                f"packed swap would fill undense subcolumns of row {pos} "
+                f"in column {J}"
+            )
+
+    def swap_rows(self, J: int, r1: int, r2: int) -> None:
+        """Exchange two rows of block column J (delayed pivoting), with
+        column-aligned scatter between differently packed segments."""
+        v1, c1 = self._row_handle(J, r1)
+        v2, c2 = self._row_handle(J, r2)
+        if v1 is None and v2 is None:
+            return
+        f1 = self._expand(J, v1, c1)
+        f2 = self._expand(J, v2, c2)
+        self._store(J, r1, v1, c1, f2)
+        self._store(J, r2, v2, c2, f1)
+
+
+def _map_ids(src_ids, target_ids):
+    """Map sorted ``src_ids`` into positions within sorted ``target_ids``.
+
+    Returns ``(positions, covered_mask)``.  Ids outside the target are
+    legal only when the corresponding contribution slice is exactly zero
+    (amalgamation-padding rows/subcolumns) — checked by the caller.
+    """
+    pos = np.searchsorted(target_ids, src_ids)
+    pos_c = np.minimum(pos, max(len(target_ids) - 1, 0))
+    covered = (
+        (pos < len(target_ids)) & (target_ids[pos_c] == src_ids)
+        if len(target_ids)
+        else np.zeros(len(src_ids), dtype=bool)
+    )
+    return pos_c, covered
+
+
+def _assert_zero(contrib, K, J, I):
+    if np.any(contrib):
+        raise StructureViolation(
+            f"packed update ({K},{J}) hits absent target block ({I},{J})"
+        )
+
+
+def _scatter_sub(target, contrib, ridx, rmask, cidx, cmask, K, J, I):
+    """``target[ridx, cidx] -= contrib`` with padding-aware coverage:
+    uncovered rows/columns must carry exactly-zero contributions
+    (George-Ng guarantees genuine fill lands inside the target)."""
+    if rmask is not None and not np.all(rmask):
+        if np.any(contrib[~rmask, :]):
+            raise StructureViolation(
+                f"packed update ({K},{J}) -> ({I},{J}): nonzero contribution "
+                "at a row outside the target's structural rows"
+            )
+        contrib = contrib[rmask, :]
+        ridx = ridx[rmask]
+    if cmask is not None and not np.all(cmask):
+        if np.any(contrib[:, ~cmask]):
+            raise StructureViolation(
+                f"packed update ({K},{J}) -> ({I},{J}): nonzero contribution "
+                "at a column outside the target's dense subcolumns"
+            )
+        contrib = contrib[:, cmask]
+        cidx = cidx[cmask]
+    target[np.ix_(ridx, cidx)] -= contrib
+
+
+def packed_factor(
+    A: CSRMatrix,
+    block_size: int = 25,
+    amalgamation: int = 4,
+    sym: SymbolicFactorization = None,
+    part: BlockPartition = None,
+    counter: KernelCounter = None,
+    pivot_threshold: float = 1.0,
+):
+    """Sequential S* factorization on packed storage.
+
+    Returns a :class:`PackedFactorization` mirroring
+    :class:`repro.numfact.LUFactorization`'s interface (``solve``,
+    ``counter``, ``pivot_seq``).
+    """
+    if sym is None:
+        sym = static_symbolic_factorization(A)
+    if part is None:
+        part = build_partition(sym, max_size=block_size, amalgamation=amalgamation)
+    bstruct = build_block_structure(sym, part)
+    m = PackedLUMatrix.from_csr(A, part, bstruct)
+    counter = counter if counter is not None else KernelCounter()
+    if not 0.0 < pivot_threshold <= 1.0:
+        raise ValueError("pivot_threshold must be in (0, 1]")
+
+    N = part.N
+    bounds = part.bounds
+    for K in range(N):
+        bs = part.size(K)
+        below = [
+            (I, m.lsegs[(I, K)])
+            for I in bstruct.l_block_rows(K)
+            if I > K and (I, K) in m.lsegs
+        ]
+        panel = np.vstack([m.diag[K]] + [seg.data for _, seg in below])
+        positions = np.concatenate(
+            [part.positions(K)] + [seg.rows for _, seg in below]
+        )
+        pivots = []
+        for c in range(bs):
+            col = panel[c:, c]
+            t = int(np.argmax(np.abs(col))) + c
+            if panel[t, c] == 0.0:
+                raise SingularMatrixError(
+                    f"no nonzero pivot for global column {bounds[K] + c}"
+                )
+            if (
+                pivot_threshold < 1.0
+                and abs(panel[c, c]) >= pivot_threshold * abs(panel[t, c])
+                and panel[c, c] != 0.0
+            ):
+                t = c
+            pivots.append((int(positions[c]), int(positions[t])))
+            if t != c:
+                panel[[c, t], :] = panel[[t, c], :]
+            piv = panel[c, c]
+            if c + 1 < panel.shape[0]:
+                panel[c + 1 :, c] /= piv
+                counter.add(BLAS1, panel.shape[0] - c - 1)
+            if c + 1 < bs:
+                panel[c + 1 :, c + 1 : bs] -= np.outer(
+                    panel[c + 1 :, c], panel[c, c + 1 : bs]
+                )
+                counter.add(
+                    DGEMV, 2.0 * (panel.shape[0] - c - 1) * (bs - c - 1), gran=bs
+                )
+        # scatter panel back
+        m.diag[K][:, :] = panel[:bs]
+        off = bs
+        for _, seg in below:
+            seg.data[:, :] = panel[off : off + len(seg.rows)]
+            off += len(seg.rows)
+        m.pivot_seq[K] = pivots
+
+        # updates
+        for J in bstruct.u_block_cols(K):
+            for r1, r2 in pivots:
+                if r1 != r2:
+                    m.swap_rows(J, r1, r2)
+            useg = m.usegs.get((K, J))
+            if useg is None:
+                continue
+            ukj = useg.data  # (bs, cdense)
+            ncols = ukj.shape[1]
+            unit_lower_solve(m.diag[K], ukj, counter=counter, ncols_structural=ncols)
+            ucols_local = useg.cols - bounds[J]
+            for I, lseg in below:
+                contrib = lseg.data @ ukj  # (len(rows), cdense)
+                kernel = DGEMM if ncols >= 2 and len(lseg.rows) >= 2 else DGEMV
+                counter.add(
+                    kernel, 2.0 * len(lseg.rows) * bs * ncols, gran=min(bs, ncols)
+                )
+                if I > J:
+                    tseg = m.lsegs.get((I, J))
+                    if tseg is None:
+                        _assert_zero(contrib, K, J, I)
+                        continue
+                    ridx, rmask = _map_ids(lseg.rows, tseg.rows)
+                    _scatter_sub(
+                        tseg.data, contrib, ridx, rmask,
+                        np.asarray(ucols_local), None, K, J, I,
+                    )
+                elif I == J:
+                    ridx = lseg.rows - bounds[J]
+                    m.diag[J][np.ix_(ridx, ucols_local)] -= contrib
+                else:
+                    tseg = m.usegs.get((I, J))
+                    if tseg is None:
+                        _assert_zero(contrib, K, J, I)
+                        continue
+                    cidx, cmask = _map_ids(useg.cols, tseg.cols)
+                    ridx = lseg.rows - bounds[I]
+                    _scatter_sub(
+                        tseg.data, contrib, ridx, None, cidx, cmask, K, J, I
+                    )
+    return PackedFactorization(m, sym, part, bstruct, counter)
+
+
+@dataclass
+class PackedFactorization:
+    """Factorization over packed storage (solve-compatible)."""
+
+    matrix: PackedLUMatrix
+    sym: SymbolicFactorization
+    part: BlockPartition
+    bstruct: BlockStructure
+    counter: KernelCounter
+
+    @property
+    def n(self) -> int:
+        return self.matrix.n
+
+    def num_interchanges(self) -> int:
+        return sum(
+            1
+            for seq in self.matrix.pivot_seq
+            for (a, b) in (seq or [])
+            if a != b
+        )
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        m = self.matrix
+        part = self.part
+        bounds = part.bounds
+        x = np.asarray(b, dtype=np.float64).copy()
+        if x.shape != (self.n,):
+            raise ValueError(f"rhs must have shape ({self.n},)")
+        N = part.N
+        for K in range(N):
+            for r1, r2 in m.pivot_seq[K]:
+                if r1 != r2:
+                    x[r1], x[r2] = x[r2], x[r1]
+            xk = x[bounds[K] : bounds[K + 1]]
+            unit_lower_solve(m.diag[K], xk)
+            for I in self.bstruct.l_block_rows(K):
+                if I > K and (I, K) in m.lsegs:
+                    seg = m.lsegs[(I, K)]
+                    x[seg.rows] -= seg.data @ xk
+        for K in range(N - 1, -1, -1):
+            xk = x[bounds[K] : bounds[K + 1]]
+            for J in self.bstruct.u_block_cols(K):
+                seg = m.usegs.get((K, J))
+                if seg is not None:
+                    xk -= seg.data @ x[seg.cols]
+            upper_solve(m.diag[K], xk)
+        return x
+
+    def storage_bytes(self) -> int:
+        return self.matrix.storage_bytes()

@@ -1,0 +1,165 @@
+"""The sequential S* factorization driver (Fig. 6) and the factor object.
+
+``sstar_factor`` runs the whole front-end + numeric pipeline on an already
+ordered matrix (see :func:`repro.ordering.prepare_matrix`):
+
+    static symbolic factorization -> supernode partition (+ amalgamation)
+    -> block structure -> Factor(K) / Update(K, J) sweep
+
+and returns an :class:`LUFactorization` that can solve linear systems and
+report kernel statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sparse import CSRMatrix
+from ..supernodes import build_partition, build_block_structure, BlockPartition, BlockStructure
+from ..symbolic import static_symbolic_factorization, SymbolicFactorization
+from .blocks import BlockLUMatrix
+from .counter import KernelCounter
+from .kernels import unit_lower_solve, upper_solve
+from .tasks import factor_block_column, update_block_column
+
+
+@dataclass
+class LUFactorization:
+    """A completed S* factorization (in the permuted coordinate system)."""
+
+    matrix: BlockLUMatrix
+    sym: SymbolicFactorization
+    part: BlockPartition
+    bstruct: BlockStructure
+    counter: KernelCounter
+
+    @property
+    def n(self) -> int:
+        return self.matrix.n
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Solve ``A x = b`` for the *permuted* matrix this was built from.
+
+        Forward substitution interleaves each block's delayed pivot sequence
+        (LINPACK/ipiv semantics), then back substitution runs over U.
+        ``b`` may be a vector or an ``(n, k)`` block of right-hand sides.
+        """
+        m = self.matrix
+        part = self.part
+        x = np.asarray(b, dtype=np.float64).copy()
+        if x.shape[0] != self.n or x.ndim > 2:
+            raise ValueError(f"rhs must have shape ({self.n},) or ({self.n}, k)")
+        N = part.N
+        bounds = part.bounds
+        for K in range(N):
+            for r1, r2 in m.pivot_seq[K]:
+                if r1 != r2:
+                    tmp = x[r1].copy() if x.ndim == 2 else x[r1]
+                    x[r1] = x[r2]
+                    x[r2] = tmp
+            xk = x[bounds[K] : bounds[K + 1]]
+            unit_lower_solve(m.blocks[(K, K)], xk)
+            for I in self.bstruct.l_block_rows(K):
+                if I > K:
+                    x[bounds[I] : bounds[I + 1]] -= m.blocks[(I, K)] @ xk
+        for K in range(N - 1, -1, -1):
+            xk = x[bounds[K] : bounds[K + 1]]
+            for J in self.bstruct.u_block_cols(K):
+                xk -= m.blocks[(K, J)] @ x[bounds[J] : bounds[J + 1]]
+            upper_solve(m.blocks[(K, K)], xk)
+        return x
+
+    def solve_transpose(self, b: np.ndarray) -> np.ndarray:
+        """Solve ``A^T x = b`` for the permuted matrix.
+
+        The factorization acts as ``A = (P_0^T M_0) (P_1^T M_1) ... U``
+        stage-wise (each ``M_K`` is the unit-lower elimination of block
+        column K), so ``A^T x = b`` is solved by ``U^T y = b`` (a forward
+        substitution on the lower-triangular ``U^T``) followed by applying
+        ``M_K^{-T}`` and the *reversed* pivot swaps for K descending.
+        """
+        m = self.matrix
+        part = self.part
+        x = np.asarray(b, dtype=np.float64).copy()
+        if x.shape[0] != self.n or x.ndim > 2:
+            raise ValueError(f"rhs must have shape ({self.n},) or ({self.n}, k)")
+        N = part.N
+        bounds = part.bounds
+        # U^T y = b: forward over block rows
+        for K in range(N):
+            xk = x[bounds[K] : bounds[K + 1]]
+            ukk = m.blocks[(K, K)]
+            bs = part.size(K)
+            for i in range(bs):
+                if i > 0:
+                    xk[i] -= ukk[:i, i] @ xk[:i]
+                xk[i] /= ukk[i, i]
+            for J in self.bstruct.u_block_cols(K):
+                x[bounds[J] : bounds[J + 1]] -= m.blocks[(K, J)].T @ xk
+        # M_K^{-T} and reversed swaps, K descending
+        for K in range(N - 1, -1, -1):
+            xk = x[bounds[K] : bounds[K + 1]]
+            for I in self.bstruct.l_block_rows(K):
+                if I > K:
+                    xk -= m.blocks[(I, K)].T @ x[bounds[I] : bounds[I + 1]]
+            lkk = m.blocks[(K, K)]
+            bs = part.size(K)
+            for i in range(bs - 1, -1, -1):
+                if i + 1 < bs:
+                    xk[i] -= lkk[i + 1 :, i] @ xk[i + 1 :]
+            for r1, r2 in reversed(m.pivot_seq[K]):
+                if r1 != r2:
+                    tmp = x[r1].copy() if x.ndim == 2 else x[r1]
+                    x[r1] = x[r2]
+                    x[r2] = tmp
+        return x
+
+    def num_interchanges(self) -> int:
+        """Number of off-diagonal row interchanges the pivoting performed."""
+        return sum(
+            1
+            for seq in self.matrix.pivot_seq
+            for (a, b) in (seq or [])
+            if a != b
+        )
+
+    def pivot_rows(self) -> list:
+        """Flat pivot sequence [(m, t), ...] over all block columns."""
+        out = []
+        for seq in self.matrix.pivot_seq:
+            out.extend(seq or [])
+        return out
+
+
+def sstar_factor(
+    A: CSRMatrix,
+    block_size: int = 25,
+    amalgamation: int = 4,
+    sym: SymbolicFactorization = None,
+    part: BlockPartition = None,
+    counter: KernelCounter = None,
+    pivot_threshold: float = 1.0,
+) -> LUFactorization:
+    """Factor an ordered, zero-free-diagonal matrix with the S* algorithm.
+
+    Precomputed ``sym``/``part`` may be passed to amortise the front-end
+    across repeated factorizations (the benchmark harness does this).
+    """
+    if sym is None:
+        sym = static_symbolic_factorization(A)
+    if part is None:
+        part = build_partition(sym, max_size=block_size, amalgamation=amalgamation)
+    bstruct = build_block_structure(sym, part)
+    m = BlockLUMatrix.from_csr(A, part, bstruct)
+    counter = counter if counter is not None else KernelCounter()
+
+    N = part.N
+    for K in range(N):
+        fc = factor_block_column(
+            m, K, counter=counter, pivot_threshold=pivot_threshold
+        )
+        for J in bstruct.u_block_cols(K):
+            update_block_column(m, fc, J, counter=counter)
+    return LUFactorization(m, sym, part, bstruct, counter)

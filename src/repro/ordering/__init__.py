@@ -1,0 +1,20 @@
+"""Fill-reducing ordering and zero-free-diagonal preprocessing.
+
+The paper's pipeline (Section 3.1): permute rows with a maximum transversal
+(Duff's MC21 algorithm) so the matrix has a zero-free diagonal, then apply a
+(multiple) minimum-degree column ordering computed on the graph of
+:math:`A^T A`.
+"""
+
+from .transversal import maximum_transversal, is_structurally_nonsingular
+from .mindeg import minimum_degree, MinDegreeResult
+from .pipeline import prepare_matrix, OrderedMatrix
+
+__all__ = [
+    "maximum_transversal",
+    "is_structurally_nonsingular",
+    "minimum_degree",
+    "MinDegreeResult",
+    "prepare_matrix",
+    "OrderedMatrix",
+]

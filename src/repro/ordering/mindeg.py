@@ -1,0 +1,101 @@
+"""Minimum-degree ordering on an undirected graph pattern.
+
+The paper orders columns with *multiple minimum degree* (MMD) applied to the
+graph of :math:`A^T A`.  We implement a minimum-degree elimination with the
+two classic MMD accelerations that matter at our scale:
+
+* **mass elimination** — indistinguishable nodes (identical closed
+  neighbourhoods) are eliminated together with their representative, and
+* **multiple elimination** — at each round every node whose degree equals
+  the current minimum (and which is not adjacent to a node already picked
+  this round) is eliminated before degrees are recomputed.
+
+Elimination uses the quotient-graph-free explicit-clique update: when node v
+is eliminated its neighbours become a clique.  That is O(deg²) per
+elimination, plenty for suite matrices of a few thousand columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sparse import CSRMatrix
+
+
+@dataclass
+class MinDegreeResult:
+    """Outcome of a minimum-degree run."""
+
+    perm: np.ndarray  # perm[k] = original index eliminated k-th
+    fill_edges: int  # number of fill edges the elimination created
+
+
+def minimum_degree(G: CSRMatrix, multiple: bool = True) -> MinDegreeResult:
+    """Compute a minimum-degree permutation of the symmetric pattern ``G``.
+
+    ``G`` must be structurally symmetric (e.g. the :math:`A^T A` pattern);
+    the diagonal is ignored.
+    """
+    n = G.nrows
+    adj = [set() for _ in range(n)]
+    for i in range(n):
+        for j in G.row_indices(i):
+            if i != j:
+                adj[i].add(int(j))
+                adj[j].add(i)
+
+    eliminated = np.zeros(n, dtype=bool)
+    perm = []
+    fill_edges = 0
+    degrees = np.array([len(a) for a in adj], dtype=np.int64)
+
+    remaining = n
+    while remaining > 0:
+        dmin = degrees[~eliminated].min()
+        # multiple elimination: grab an independent set of min-degree nodes
+        batch = []
+        blocked = set()
+        for v in np.flatnonzero(~eliminated):
+            if degrees[v] == dmin and v not in blocked:
+                batch.append(int(v))
+                blocked.add(int(v))
+                blocked.update(adj[v])
+                if not multiple:
+                    break
+        for v in batch:
+            # mass elimination: pull indistinguishable neighbours with v
+            clique = adj[v]
+            indistinct = [
+                u
+                for u in clique
+                if not eliminated[u] and adj[u] - {v} == clique - {u}
+            ]
+            # eliminate v: neighbours form a clique
+            nb = [u for u in clique if not eliminated[u]]
+            for idx, a in enumerate(nb):
+                for b in nb[idx + 1 :]:
+                    if b not in adj[a]:
+                        adj[a].add(b)
+                        adj[b].add(a)
+                        fill_edges += 1
+            eliminated[v] = True
+            perm.append(v)
+            remaining -= 1
+            for u in nb:
+                adj[u].discard(v)
+            adj[v] = set()
+            for u in indistinct:
+                if not eliminated[u]:
+                    eliminated[u] = True
+                    perm.append(u)
+                    remaining -= 1
+                    for w in adj[u]:
+                        adj[w].discard(u)
+                    adj[u] = set()
+            # refresh degrees locally
+            for u in nb:
+                if not eliminated[u]:
+                    degrees[u] = len(adj[u])
+    return MinDegreeResult(np.asarray(perm, dtype=np.int64), fill_edges)

@@ -1,0 +1,118 @@
+"""Maximum transversal (Duff's MC21 algorithm).
+
+Finds a row permutation placing a structural nonzero on every diagonal
+position — the preprocessing the paper applies before static symbolic
+factorization ("we also permute the rows of the matrix using a transversal
+obtained from Duff's algorithm to make A have a zero-free diagonal").
+
+The implementation is the classic augmenting-path bipartite matching with a
+cheap-assignment first pass, iterative (explicit stack) so deep paths cannot
+overflow Python's recursion limit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse import CSRMatrix
+
+
+def maximum_transversal(A: CSRMatrix):
+    """Match columns to rows so that ``A[row_of[j], j] != 0`` structurally.
+
+    Returns
+    -------
+    row_perm : np.ndarray
+        Row permutation such that ``A.permute(row_perm)[j, j]`` is
+        structurally nonzero for every matched column ``j``
+        (``row_perm[k] = old row index placed at new position k``).
+    matched : int
+        Size of the maximum transversal (== n iff structurally nonsingular).
+    """
+    n = A.nrows
+    if A.ncols != n:
+        raise ValueError("transversal requires a square matrix")
+    # Column-wise adjacency: rows with a nonzero in each column.
+    col_rows = [[] for _ in range(n)]
+    for i in range(n):
+        for j in A.row_indices(i):
+            col_rows[j].append(i)
+
+    row_of_col = np.full(n, -1, dtype=np.int64)  # matched row for column j
+    col_of_row = np.full(n, -1, dtype=np.int64)
+
+    # Cheap assignment pass.
+    for j in range(n):
+        for i in col_rows[j]:
+            if col_of_row[i] < 0:
+                row_of_col[j] = i
+                col_of_row[i] = j
+                break
+
+    # Augmenting paths for unmatched columns (iterative DFS over columns).
+    matched = int(np.count_nonzero(row_of_col >= 0))
+    for j0 in range(n):
+        if row_of_col[j0] >= 0:
+            continue
+        visited_col = np.zeros(n, dtype=bool)
+        # stack holds (column, iterator index into its candidate rows)
+        stack = [(j0, 0)]
+        visited_col[j0] = True
+        parent_row = {}  # column -> row edge taken to reach it
+        found = False
+        while stack and not found:
+            j, ptr = stack[-1]
+            rows = col_rows[j]
+            advanced = False
+            while ptr < len(rows):
+                i = rows[ptr]
+                ptr += 1
+                stack[-1] = (j, ptr)
+                nxt = col_of_row[i]
+                if nxt < 0:
+                    # free row: augment along the stack
+                    col_of_row[i] = j
+                    row_of_col[j] = i
+                    # walk back the DFS stack rematching
+                    k = len(stack) - 2
+                    child = j
+                    while k >= 0:
+                        pj, _ = stack[k]
+                        pi = parent_row[child]
+                        row_of_col[pj] = pi
+                        col_of_row[pi] = pj
+                        child = pj
+                        k -= 1
+                    found = True
+                    break
+                if not visited_col[nxt]:
+                    visited_col[nxt] = True
+                    parent_row[nxt] = i
+                    stack.append((nxt, 0))
+                    advanced = True
+                    break
+            if found:
+                break
+            if not advanced:
+                stack.pop()
+        if found:
+            matched += 1
+
+    # Build the row permutation: new position j holds old row row_of_col[j].
+    row_perm = np.full(n, -1, dtype=np.int64)
+    used = np.zeros(n, dtype=bool)
+    for j in range(n):
+        if row_of_col[j] >= 0:
+            row_perm[j] = row_of_col[j]
+            used[row_of_col[j]] = True
+    free_rows = iter(np.flatnonzero(~used))
+    for j in range(n):
+        if row_perm[j] < 0:
+            row_perm[j] = next(free_rows)
+    return row_perm, matched
+
+
+def is_structurally_nonsingular(A: CSRMatrix) -> bool:
+    """True iff a full transversal exists (no identically-singular pattern)."""
+    _, matched = maximum_transversal(A)
+    return matched == A.nrows

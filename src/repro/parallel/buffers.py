@@ -1,0 +1,84 @@
+"""Communication-buffer accounting for the 2D asynchronous code (Theorem 2).
+
+The paper bounds the buffer space needed per processor to support the
+asynchronous pipeline: with overlap degree at most ``p_c`` across processor
+columns and ``min(p_r - 1, p_c)`` within one, a processor needs
+
+* ``p_c`` separate **Cbuffers** (a multicast L column panel each,
+  ``C < n * BSIZE * s / p_r`` bytes),
+* ``p_r - 1`` separate **Rbuffers** (a multicast scaled U row panel each,
+  ``R < n * BSIZE * s / p_c``),
+* small **Pbuffer** (pivot rows, ~``BSIZE^2``) and **Ibuffer**
+  (row-interchange staging, ~``s * n / p_c``),
+
+for a total below ``n * BSIZE * s * (p_c/p_r + p_r/p_c)`` — vanishing
+relative to the ``S_1/p`` data share for large matrices.  This module
+computes those bounds for a concrete block structure and compares them with
+what a simulated run actually needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..supernodes import BlockStructure
+from .mapping import Grid2D
+
+
+@dataclass
+class BufferReport:
+    """Predicted buffer requirements per processor (bytes)."""
+
+    cbuffer: int  # one L column panel (max over K of a rank's share)
+    rbuffer: int  # one U row panel (max over K of a rank's share)
+    pbuffer: int
+    ibuffer: int
+    pc: int
+    pr: int
+
+    @property
+    def total(self) -> int:
+        """Theorem 2 provisioning: p_c Cbuffers + (p_r - 1) Rbuffers."""
+        return (
+            self.pc * self.cbuffer
+            + max(self.pr - 1, 0) * self.rbuffer
+            + self.pbuffer
+            + self.ibuffer
+        )
+
+
+def buffer_requirements(bstruct: BlockStructure, grid: Grid2D) -> BufferReport:
+    """Size the four buffer kinds for a block structure on a grid."""
+    part = bstruct.part
+    N = part.N
+    bsize = int(max(part.sizes())) if N else 0
+
+    cmax = 0
+    rmax = 0
+    for K in range(N):
+        bs = part.size(K)
+        # a rank's share of column K's L blocks (worst rank)
+        per_rank_rows = {}
+        for I in bstruct.l_block_rows(K):
+            per_rank_rows.setdefault(I % grid.pr, 0)
+            per_rank_rows[I % grid.pr] += part.size(I)
+        if per_rank_rows:
+            cmax = max(cmax, max(per_rank_rows.values()) * bs * 8)
+        # a rank's share of row K's scaled U blocks (worst rank)
+        per_rank_cols = {}
+        for J in bstruct.u_block_cols(K):
+            per_rank_cols.setdefault(J % grid.pc, 0)
+            per_rank_cols[J % grid.pc] += len(bstruct.udense_cols[(K, J)])
+        if per_rank_cols:
+            rmax = max(rmax, max(per_rank_cols.values()) * bs * 8)
+
+    n = part.n
+    ibuffer = 8 * (n // max(grid.pc, 1) + bsize)
+    return BufferReport(
+        cbuffer=cmax,
+        rbuffer=rmax,
+        pbuffer=8 * bsize * bsize,
+        ibuffer=ibuffer,
+        pc=grid.pc,
+        pr=grid.pr,
+    )

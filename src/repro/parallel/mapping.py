@@ -1,0 +1,61 @@
+"""Data mappings: 1D block-cyclic columns and the 2D processor grid.
+
+The 2D mapping is the paper's standard function: submatrix ``A_IJ`` lives on
+processor ``(I mod p_r, J mod p_c)``.  The paper observes ``p_c ~ 2 p_r``
+performs best; :func:`Grid2D.preferred` picks that shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def cyclic_owner(N: int, nprocs: int) -> np.ndarray:
+    """1D block-cyclic column ownership."""
+    return np.arange(N, dtype=np.int64) % nprocs
+
+
+@dataclass(frozen=True)
+class Grid2D:
+    """A ``p_r x p_c`` processor grid with row-major rank numbering."""
+
+    pr: int
+    pc: int
+
+    @property
+    def nprocs(self) -> int:
+        return self.pr * self.pc
+
+    def rank(self, r: int, c: int) -> int:
+        return r * self.pc + c
+
+    def coords(self, rank: int) -> tuple:
+        return rank // self.pc, rank % self.pc
+
+    def owner_of_block(self, I: int, J: int) -> int:
+        return self.rank(I % self.pr, J % self.pc)
+
+    def row_ranks(self, r: int) -> list:
+        """All ranks in processor row r."""
+        return [self.rank(r, c) for c in range(self.pc)]
+
+    def col_ranks(self, c: int) -> list:
+        """All ranks in processor column c."""
+        return [self.rank(r, c) for r in range(self.pr)]
+
+    @classmethod
+    def preferred(cls, nprocs: int) -> "Grid2D":
+        """The paper's preferred shape: ``p_c / p_r ~ 2`` (e.g. 8 -> 2x4)."""
+        best = None
+        for pr in range(1, nprocs + 1):
+            if nprocs % pr:
+                continue
+            pc = nprocs // pr
+            if pc < pr:
+                continue
+            score = abs(pc / pr - 2.0)
+            if best is None or score < best[0]:
+                best = (score, pr, pc)
+        return cls(best[1], best[2])

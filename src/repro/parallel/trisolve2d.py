@@ -1,0 +1,173 @@
+"""Distributed triangular solves over the 2D block-cyclic mapping.
+
+Completes the 2D story: after :func:`repro.parallel.run_2d` leaves the
+factor blocks distributed on the ``p_r x p_c`` grid, these SPMD solvers run
+``L y = P b`` and ``U x = y`` without gathering the matrix anywhere.
+
+The solution vector is distributed by block, segment ``x_K`` living with
+the diagonal block's owner ``(K mod p_r, K mod p_c)``:
+
+* **forward** (ascending K): diagonal owners exchange the scalars a pivot
+  swap touches, the owner solves with ``L_KK`` and multicasts ``x_K`` down
+  processor column ``K mod p_c`` — exactly where every ``L_IK`` lives; each
+  ``L_IK`` owner ships its product to segment ``I``'s owner, which absorbs
+  contributions in ascending ``(K, I)`` order so sums match the sequential
+  solver bitwise;
+* **backward** (descending K): each finalised ``x_J`` is multicast down
+  processor column ``J mod p_c``, where the ``U_KJ`` owners later produce
+  the contributions segment ``K`` subtracts in ascending-``J`` order before
+  its own back substitution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..machine import Simulator, MachineSpec
+from ..numfact import LUFactorization
+from ..numfact.kernels import unit_lower_solve, upper_solve
+from .mapping import Grid2D
+
+
+@dataclass
+class TriSolve2DResult:
+    """Outcome of a distributed 2D triangular solve."""
+
+    x: np.ndarray
+    sim: object
+
+    @property
+    def parallel_seconds(self) -> float:
+        return self.sim.total_time
+
+
+def _program(env, ctx):
+    lu: LUFactorization = ctx["lu"]
+    grid: Grid2D = ctx["grid"]
+    b = ctx["b"]
+    part = lu.part
+    bstruct = lu.bstruct
+    blocks = lu.matrix.blocks
+    bounds = part.bounds
+    N = part.N
+    r, c = grid.coords(env.rank)
+    pr, pc = grid.pr, grid.pc
+
+    def diag_owner(K):
+        return grid.rank(K % pr, K % pc)
+
+    x = {
+        K: b[bounds[K] : bounds[K + 1]].copy()
+        for K in range(N)
+        if diag_owner(K) == env.rank
+    }
+
+    # ---- forward ---------------------------------------------------------
+    for K in range(N):
+        own_k = diag_owner(K) == env.rank
+        # pivot swaps: scalar exchanges between diagonal owners
+        for step, (m, t) in enumerate(lu.matrix.pivot_seq[K]):
+            if m == t:
+                continue
+            It = int(part.block_of[t])
+            o_m, o_t = diag_owner(K), diag_owner(It)
+            if o_m == o_t:
+                if env.rank == o_m:
+                    lm, lt = m - bounds[K], t - bounds[It]
+                    x[K][lm], x[It][lt] = x[It][lt], x[K][lm]
+            elif env.rank == o_m:
+                lm = m - bounds[K]
+                env.send(o_t, ("2dswap", K, step, "m"), float(x[K][lm]))
+                x[K][lm] = yield env.recv(("2dswap", K, step, "t"))
+            elif env.rank == o_t:
+                lt = t - bounds[It]
+                env.send(o_m, ("2dswap", K, step, "t"), float(x[It][lt]))
+                x[It][lt] = yield env.recv(("2dswap", K, step, "m"))
+        below = [I for I in bstruct.l_block_rows(K) if I > K]
+        if own_k:
+            xk = x[K]
+            snap = env.snapshot()
+            unit_lower_solve(blocks[(K, K)], xk, counter=env.counter)
+            env.compute_counted(snap)
+            env.multicast(grid.col_ranks(K % pc), ("2dxk", K), xk)
+            xk_local = xk
+        elif c == K % pc:
+            xk_local = yield env.recv(("2dxk", K))
+        else:
+            xk_local = None
+        # producers in processor column K % pc compute L_IK x_K
+        if c == K % pc:
+            for I in below:
+                if I % pr == r and bstruct.has_l(I, K):
+                    contrib = blocks[(I, K)] @ xk_local
+                    env.compute("dgemv", 2.0 * blocks[(I, K)].size, gran=part.size(K))
+                    dest = diag_owner(I)
+                    if dest == env.rank:
+                        x[I] -= contrib
+                    else:
+                        env.send(dest, ("2dfwd", K, I), contrib)
+        # absorb contributions into my segments (ascending I: bitwise order)
+        for I in below:
+            if (
+                diag_owner(I) == env.rank
+                and bstruct.has_l(I, K)
+                and grid.rank(I % pr, K % pc) != env.rank
+            ):
+                contrib = yield env.recv(("2dfwd", K, I))
+                x[I] -= contrib
+
+    # ---- backward --------------------------------------------------------
+    xj_local = {}  # finalised segments received on my processor column
+    for K in range(N - 1, -1, -1):
+        right = bstruct.u_block_cols(K)
+        own_k = diag_owner(K) == env.rank
+        # producers of stage-K contributions (U_KJ owners, J finalised)
+        if r == K % pr:
+            for J in right:
+                if J % pc == c and diag_owner(K) != env.rank:
+                    contrib = blocks[(K, J)] @ xj_local[J]
+                    env.compute("dgemv", 2.0 * blocks[(K, J)].size, gran=part.size(J))
+                    env.send(diag_owner(K), ("2dbwd", K, J), contrib)
+        if own_k:
+            xk = x[K]
+            for J in right:  # ascending J: bitwise order
+                producer = grid.rank(K % pr, J % pc)
+                if producer == env.rank:
+                    contrib = blocks[(K, J)] @ xj_local[J]
+                    env.compute("dgemv", 2.0 * blocks[(K, J)].size, gran=part.size(J))
+                else:
+                    contrib = yield env.recv(("2dbwd", K, J))
+                xk -= contrib
+            snap = env.snapshot()
+            upper_solve(blocks[(K, K)], xk, counter=env.counter)
+            env.compute_counted(snap)
+            env.multicast(grid.col_ranks(K % pc), ("2dxb", K), xk)
+            if c == K % pc:
+                xj_local[K] = xk
+        elif c == K % pc:
+            xj_local[K] = yield env.recv(("2dxb", K))
+    return {K: x[K] for K in x}
+
+
+def run_2d_trisolve(
+    lu: LUFactorization, b: np.ndarray, nprocs: int, spec: MachineSpec,
+    grid: Grid2D = None,
+) -> TriSolve2DResult:
+    """Solve ``A x = b`` (permuted coordinates) on the 2D grid."""
+    if grid is None:
+        grid = Grid2D.preferred(nprocs)
+    if grid.nprocs != nprocs:
+        raise ValueError("grid size does not match nprocs")
+    b = np.asarray(b, dtype=np.float64)
+    if b.shape != (lu.n,):
+        raise ValueError(f"rhs must have shape ({lu.n},)")
+    ctx = {"lu": lu, "grid": grid, "b": b}
+    sim = Simulator(nprocs, spec, _program, args=(ctx,)).run()
+    x = np.empty(lu.n)
+    bounds = lu.part.bounds
+    for ret in sim.returns:
+        for K, seg in ret.items():
+            x[bounds[K] : bounds[K + 1]] = seg
+    return TriSolve2DResult(x=x, sim=sim)

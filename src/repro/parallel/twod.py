@@ -1,0 +1,381 @@
+"""The 2D block-cyclic parallel codes (Section 5.2, Figs. 12-15).
+
+Blocks map to a ``p_r x p_c`` grid: ``A_IJ`` lives on rank
+``(I mod p_r, J mod p_c)``.  The asynchronous algorithm follows Fig. 12:
+
+* ``Factor(K)`` (Fig. 13) runs on processor column ``K mod p_c`` with a
+  per-column pivot reduction along the processor column (local maxima +
+  candidate subrows sent to the diagonal owner, winning subrow broadcast
+  back), then multicasts the pivot sequence and local L blocks along each
+  processor *row*;
+* ``ScaleSwap(K)`` (Fig. 14) performs the delayed row interchanges inside
+  each processor column (pairwise subrow exchanges), the owners of block
+  row ``K`` scale ``U_K,*`` by ``L_KK^{-1}`` and multicast the scaled row
+  panel along their processor *columns*;
+* ``Update_2D(K, J)`` (Fig. 15) is the embarrassingly block-parallel GEMM
+  sweep;
+* compute-ahead: the owner column of ``K+1`` runs ``Update_2D(K, K+1)`` and
+  ``Factor(K+1)`` before its remaining stage-``K`` updates.
+
+The synchronous variant (the Table 7 baseline) adds a global barrier per
+elimination stage and drops the compute-ahead, serialising the pipeline.
+
+The numerics are bitwise identical to the sequential S* code — same scalar
+operations in the same order per matrix element — which the tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..machine import Simulator, MachineSpec
+from ..numfact import BlockLUMatrix, SingularMatrixError, StructureViolation
+from ..numfact.kernels import unit_lower_solve
+from ..sparse import CSRMatrix
+from ..supernodes import BlockPartition, BlockStructure
+from .mapping import Grid2D
+
+
+@dataclass
+class TwoDResult:
+    """Outcome of a 2D parallel factorization run."""
+
+    sim: object  # SimResult
+    grid: Grid2D
+    factor: BlockLUMatrix  # merged storage (solvable)
+    update_spans: list  # (rank, K, start, end) intervals of Update_2D stages
+
+    @property
+    def parallel_seconds(self) -> float:
+        return self.sim.total_time
+
+    def overlap_degree(self) -> int:
+        """Measured stage-overlap degree of Update_2D tasks (Theorem 2):
+        max |k' - k| over concurrently executing Update_2D stages."""
+        spans = sorted(self.update_spans, key=lambda s: s[2])
+        best = 0
+        for i, (_, k1, s1, e1) in enumerate(spans):
+            for _, k2, s2, e2 in spans[i + 1 :]:
+                if s2 >= e1:
+                    break
+                if min(e1, e2) > max(s1, s2):
+                    best = max(best, abs(k2 - k1))
+        return best
+
+
+def _distribute_2d(A, part, bstruct, grid: Grid2D):
+    full = BlockLUMatrix.from_csr(A, part, bstruct)
+    locals_ = [dict() for _ in range(grid.nprocs)]
+    for (I, J), blk in full.blocks.items():
+        locals_[grid.owner_of_block(I, J)][(I, J)] = blk
+    return locals_
+
+
+def _swap_local(blocks, part, J, r1, r2, bstruct):
+    """Swap rows r1, r2 of block column J when both live on this rank."""
+    I1, I2 = int(part.block_of[r1]), int(part.block_of[r2])
+    b1 = blocks.get((I1, J))
+    b2 = blocks.get((I2, J))
+    o1, o2 = r1 - part.start(I1), r2 - part.start(I2)
+    if b1 is not None and b2 is not None:
+        tmp = b1[o1].copy()
+        b1[o1] = b2[o2]
+        b2[o2] = tmp
+    elif b1 is None and b2 is not None:
+        if np.any(b2[o2]):
+            raise StructureViolation(f"2D swap into absent block ({I1},{J})")
+    elif b2 is None and b1 is not None:
+        if np.any(b1[o1]):
+            raise StructureViolation(f"2D swap into absent block ({I2},{J})")
+
+
+def _pack_row(blocks, part, cols, pos):
+    """Pack the subrow at global position ``pos`` across the given local
+    block columns; absent blocks are omitted (structurally zero)."""
+    I = int(part.block_of[pos])
+    o = pos - part.start(I)
+    out = {}
+    for J in cols:
+        blk = blocks.get((I, J))
+        if blk is not None:
+            out[J] = blk[o]
+    return out
+
+
+def _store_row(blocks, part, cols, pos, incoming):
+    """Write an exchanged subrow back; enforce the static structure."""
+    I = int(part.block_of[pos])
+    o = pos - part.start(I)
+    for J in cols:
+        blk = blocks.get((I, J))
+        if blk is not None:
+            if J in incoming:
+                blk[o] = incoming[J]
+            else:
+                if np.any(blk[o]):
+                    raise StructureViolation(
+                        f"2D swap lost nonzeros of row {pos} in column {J}"
+                    )
+                blk[o] = 0.0
+        else:
+            if J in incoming and np.any(incoming[J]):
+                raise StructureViolation(
+                    f"2D swap would fill absent block ({I},{J})"
+                )
+
+
+def _rank_program_2d(env, ctx):
+    grid: Grid2D = ctx["grid"]
+    part: BlockPartition = ctx["part"]
+    bstruct: BlockStructure = ctx["bstruct"]
+    blocks: dict = ctx["locals"][env.rank]
+    synchronous: bool = ctx["synchronous"]
+    pivot_threshold: float = ctx["pivot_threshold"]
+    r, c = grid.coords(env.rank)
+    pr, pc = grid.pr, grid.pc
+    N = part.N
+    update_spans = []
+    pivseqs = [None] * N
+    lcol_cache = {}  # K -> {"pivots", "diag", "lblocks"} for my block rows
+    urow_cache = {}  # K -> {J: scaled U_KJ} for my block columns
+
+    my_cols = [J for J in range(N) if J % pc == c]
+
+    # ---- Factor(K): runs on processor column K % pc (Fig. 13) -----------
+    def factor(K):
+        k0, bs = part.start(K), part.size(K)
+        diag_r = K % pr
+        myI = [I for I in bstruct.l_block_rows(K) if I % pr == r]
+        pivots = []
+        for m in range(bs):
+            gm = k0 + m
+            # local best candidate (position >= gm), ties -> smallest position
+            best_abs, best_pos, best_row = -1.0, -1, None
+            ncand = 0
+            for I in myI:
+                blk = blocks.get((I, K))
+                s0 = part.start(I)
+                lo = max(0, gm - s0)
+                if lo >= blk.shape[0]:
+                    continue
+                sub = blk[lo:, m]
+                ncand += len(sub)
+                t = int(np.argmax(np.abs(sub)))
+                v = abs(float(sub[t]))
+                if v > best_abs:
+                    best_abs, best_pos = v, s0 + lo + t
+                    best_row = blk[lo + t]
+            env.compute("blas1", ncand)
+            if r != diag_r:
+                env.send(
+                    grid.rank(diag_r, c),
+                    ("pmax", K, m, r),
+                    (best_abs, best_pos, None if best_row is None else best_row),
+                )
+                t_pos, piv_row, old_row = yield env.recv(("pbest", K, m))
+            else:
+                g_abs, g_pos, g_row = best_abs, best_pos, best_row
+                for rr in range(pr):
+                    if rr == diag_r:
+                        continue
+                    a, p, row = yield env.recv(("pmax", K, m, rr))
+                    if a > g_abs or (a == g_abs and p != -1 and (g_pos == -1 or p < g_pos)):
+                        g_abs, g_pos, g_row = a, p, row
+                if g_pos == -1 or g_abs == 0.0:
+                    raise SingularMatrixError(f"no nonzero pivot for column {gm}")
+                dval = blocks[(K, K)][m, m]
+                if (
+                    pivot_threshold < 1.0
+                    and abs(dval) >= pivot_threshold * g_abs
+                    and dval != 0.0
+                ):
+                    # threshold pivoting: keep the diagonal
+                    g_pos = gm
+                    g_row = blocks[(K, K)][m]
+                t_pos = g_pos
+                piv_row = np.array(g_row, copy=True)
+                # old row m is local to the diagonal owner
+                dblk = blocks[(K, K)]
+                old_row = dblk[m].copy()
+                env.multicast(
+                    grid.col_ranks(c),
+                    ("pbest", K, m),
+                    (t_pos, piv_row, old_row),
+                )
+            pivots.append((gm, int(t_pos)))
+            # perform the interchange within the panel
+            if int(t_pos) != gm:
+                It = int(part.block_of[t_pos])
+                if r == diag_r:
+                    blocks[(K, K)][m] = piv_row
+                if It % pr == r:
+                    blk = blocks[(It, K)]
+                    blk[t_pos - part.start(It)] = old_row
+            # eliminate: scale column m and update the trailing panel
+            piv_val = piv_row[m] if r != diag_r else blocks[(K, K)][m, m]
+            nrows = 0
+            for I in myI:
+                blk = blocks[(I, K)]
+                s0 = part.start(I)
+                lo = max(0, gm + 1 - s0)
+                if lo >= blk.shape[0]:
+                    continue
+                blk[lo:, m] /= piv_val
+                if m + 1 < bs:
+                    blk[lo:, m + 1 :] -= np.outer(blk[lo:, m], piv_row[m + 1 :])
+                # charge the packed-storage row count (accounting parity
+                # with the sequential code)
+                nrows += min(bstruct.l_rows_count(I, K), blk.shape[0] - lo)
+            env.compute("blas1", nrows)
+            env.compute("dgemv", 2.0 * nrows * max(bs - m - 1, 0), gran=bs)
+        pivseqs[K] = pivots
+        # multicast pivots + my local L blocks along my processor row
+        payload = {
+            "pivots": pivots,
+            "diag": blocks.get((K, K)) if diag_r == r else None,
+            "lblocks": {I: blocks[(I, K)] for I in myI if I > K},
+        }
+        lcol_cache[K] = payload
+        env.multicast(grid.row_ranks(r), ("lcol", K), payload)
+
+    # ---- ScaleSwap(K): all ranks (Fig. 14) -------------------------------
+    def scaleswap(K):
+        if c == K % pc:
+            info = lcol_cache[K]
+        else:
+            info = yield env.recv(("lcol", K))
+            lcol_cache[K] = info
+        pivots = info["pivots"]
+        cols_after = [J for J in my_cols if J > K]
+        # delayed row interchanges within my processor column
+        for step, (gm, t) in enumerate(pivots):
+            if gm == t:
+                continue
+            r1 = int(part.block_of[gm]) % pr
+            r2 = int(part.block_of[t]) % pr
+            if r1 == r and r2 == r:
+                for J in cols_after:
+                    _swap_local(blocks, part, J, gm, t, bstruct)
+            elif r1 == r or r2 == r:
+                mine, theirs = (gm, t) if r1 == r else (t, gm)
+                peer = grid.rank(r2 if r1 == r else r1, c)
+                env.send(peer, ("swap", K, step, r), _pack_row(blocks, part, cols_after, mine))
+                incoming = yield env.recv(("swap", K, step, (r2 if r1 == r else r1)))
+                _store_row(blocks, part, cols_after, mine, incoming)
+        # scaling of the U row panel by the owners of block row K
+        if r == K % pr:
+            diag = info["diag"]
+            scaled = {}
+            for J in cols_after:
+                ukj = blocks.get((K, J))
+                if ukj is not None:
+                    snap = env.snapshot()
+                    unit_lower_solve(
+                        diag,
+                        ukj,
+                        counter=env.counter,
+                        ncols_structural=len(bstruct.udense_cols[(K, J)]),
+                    )
+                    env.compute_counted(snap)
+                    scaled[J] = ukj
+            urow_cache[K] = scaled
+            env.multicast(grid.col_ranks(c), ("urow", K, c), scaled)
+        else:
+            urow_cache[K] = yield env.recv(("urow", K, c))
+
+    # ---- Update_2D(K, J): local GEMM sweep (Fig. 15) ---------------------
+    def update(K, J):
+        t0 = env.clock
+        ukj = urow_cache[K].get(J)
+        if ukj is None:
+            return
+        info = lcol_cache[K]
+        ncols = len(bstruct.udense_cols[(K, J)])
+        for I, lik in sorted(info["lblocks"].items()):
+            target = blocks.get((I, J))
+            if target is None:
+                if np.any(lik @ ukj):
+                    raise StructureViolation(
+                        f"2D update ({K},{J}) touches absent block ({I},{J})"
+                    )
+                continue
+            snap = env.snapshot()
+            target -= lik @ ukj
+            srows = bstruct.l_rows_count(I, K)
+            kernel = "dgemm" if ncols >= 2 and srows >= 2 else "dgemv"
+            env.counter.add(
+                kernel,
+                2.0 * srows * lik.shape[1] * ncols,
+                gran=min(lik.shape[1], ncols) if kernel == "dgemm" else lik.shape[1],
+            )
+            env.compute_counted(snap)
+        if env.clock > t0:
+            update_spans.append((env.rank, K, t0, env.clock))
+            env.span(f"U2D{K}", t0)
+
+    # ---- main loop (Fig. 12) ---------------------------------------------
+    if synchronous:
+        for k in range(N):
+            if c == k % pc:
+                yield from factor(k)
+            yield from scaleswap(k)
+            for j in my_cols:
+                if j > k:
+                    update(k, j)
+            yield env.barrier()
+    else:
+        if c == 0 % pc:
+            yield from factor(0)
+        for k in range(N - 1):
+            yield from scaleswap(k)
+            if (k + 1) % pc == c:
+                update(k, k + 1)
+                yield from factor(k + 1)
+            for j in my_cols:
+                if j > k + 1:
+                    update(k, j)
+        # free structures referenced by caches before returning
+    return {
+        "pivot_seq": pivseqs,
+        "update_spans": update_spans,
+    }
+
+
+def run_2d(
+    A: CSRMatrix,
+    part: BlockPartition,
+    bstruct: BlockStructure,
+    nprocs: int,
+    spec: MachineSpec,
+    synchronous: bool = False,
+    grid: Grid2D = None,
+    pivot_threshold: float = 1.0,
+) -> TwoDResult:
+    """Run the 2D parallel factorization of an ordered matrix ``A``."""
+    if grid is None:
+        grid = Grid2D.preferred(nprocs)
+    if grid.nprocs != nprocs:
+        raise ValueError("grid size does not match nprocs")
+    locals_ = _distribute_2d(A, part, bstruct, grid)
+    ctx = {
+        "grid": grid,
+        "part": part,
+        "bstruct": bstruct,
+        "locals": locals_,
+        "synchronous": synchronous,
+        "pivot_threshold": pivot_threshold,
+    }
+    sim = Simulator(grid.nprocs, spec, _rank_program_2d, args=(ctx,)).run()
+
+    merged = BlockLUMatrix(part, bstruct)
+    for d in locals_:
+        merged.blocks.update(d)
+    spans = []
+    for ret in sim.returns:
+        spans.extend(ret["update_spans"])
+        for K, seq in enumerate(ret["pivot_seq"]):
+            if seq is not None:
+                merged.pivot_seq[K] = seq
+    return TwoDResult(sim=sim, grid=grid, factor=merged, update_spans=spans)

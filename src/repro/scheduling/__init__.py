@@ -1,0 +1,15 @@
+"""Scheduling for the 1D codes: RAPID-style graph scheduling and the
+compute-ahead (CA) baseline, plus Gantt-chart tooling (Section 5.1)."""
+
+from .graph_schedule import graph_schedule, Schedule
+from .compute_ahead import compute_ahead_schedule
+from .gantt import simulate_schedule, GanttChart, demo_unit_weight_charts
+
+__all__ = [
+    "graph_schedule",
+    "Schedule",
+    "compute_ahead_schedule",
+    "simulate_schedule",
+    "GanttChart",
+    "demo_unit_weight_charts",
+]

@@ -1,0 +1,126 @@
+"""Schedule simulation and Gantt charts (Fig. 11).
+
+``simulate_schedule`` replays a :class:`Schedule` against the task DAG with
+a simple self-timed model — each processor executes its task list in order,
+starting a task as soon as its predecessors' data has arrived — and returns
+per-task intervals, from which ASCII Gantt charts like the paper's Fig. 11
+are rendered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..taskgraph import TaskGraph, FACTOR
+from .graph_schedule import Schedule
+
+
+@dataclass
+class GanttChart:
+    """Per-task intervals of a simulated schedule."""
+
+    nprocs: int
+    intervals: list  # (proc, task, start, end)
+    makespan: float
+
+    def rows(self) -> list:
+        """Per-processor sorted interval lists."""
+        out = [[] for _ in range(self.nprocs)]
+        for p, t, s, e in self.intervals:
+            out[p].append((t, s, e))
+        for r in out:
+            r.sort(key=lambda x: x[1])
+        return out
+
+    def render(self, width: int = 72) -> str:
+        """ASCII Gantt chart (one row per processor)."""
+
+        def label(t):
+            return f"F{t[1]}" if t[0] == FACTOR else f"U{t[1]},{t[2]}"
+
+        scale = width / self.makespan if self.makespan > 0 else 1.0
+        lines = []
+        for p, row in enumerate(self.rows()):
+            cells = [" "] * (width + 8)
+            for t, s, e in row:
+                a = int(s * scale)
+                b = max(int(e * scale), a + 1)
+                txt = label(t)[: b - a]
+                for i, ch in enumerate(txt):
+                    if a + i < len(cells):
+                        cells[a + i] = ch
+                for i in range(a + len(txt), min(b, len(cells))):
+                    cells[i] = "="
+            lines.append(f"P{p}: " + "".join(cells).rstrip())
+        lines.append(f"makespan = {self.makespan:.3g}")
+        return "\n".join(lines)
+
+
+def simulate_schedule(
+    tg: TaskGraph,
+    schedule: Schedule,
+    spec=None,
+    unit_comp: float = None,
+    unit_comm: float = None,
+) -> GanttChart:
+    """Self-timed replay of ``schedule`` over ``tg``.
+
+    With ``unit_comp``/``unit_comm`` set, every task costs ``unit_comp`` and
+    every cross-processor Factor->Update message ``unit_comm`` (the paper's
+    Fig. 11 setting: weights 2 and 1); otherwise costs come from ``spec``.
+    """
+    finish = {}
+    intervals = []
+    proc_avail = [0.0] * schedule.nprocs
+    pointer = [0] * schedule.nprocs
+
+    def comp_time(t):
+        return unit_comp if unit_comp is not None else tg.seconds(t, spec)
+
+    def comm_time(src_task):
+        if unit_comm is not None:
+            return unit_comm
+        return spec.message_seconds(tg.col_bytes[src_task[1]])
+
+    remaining = sum(len(lst) for lst in schedule.proc_tasks)
+    while remaining:
+        progressed = False
+        for p in range(schedule.nprocs):
+            while pointer[p] < len(schedule.proc_tasks[p]):
+                t = schedule.proc_tasks[p][pointer[p]]
+                start = proc_avail[p]
+                ok = True
+                for pr in tg.pred.get(t, ()):
+                    if pr not in finish:
+                        ok = False
+                        break
+                    arr = finish[pr]
+                    if pr[0] == FACTOR and schedule.task_owner(pr) != p:
+                        arr += comm_time(pr)
+                    start = max(start, arr)
+                if not ok:
+                    break
+                end = start + comp_time(t)
+                finish[t] = end
+                intervals.append((p, t, start, end))
+                proc_avail[p] = end
+                pointer[p] += 1
+                remaining -= 1
+                progressed = True
+        if not progressed:
+            raise RuntimeError("schedule replay stalled: inconsistent ordering")
+    makespan = max(f for f in finish.values()) if finish else 0.0
+    return GanttChart(schedule.nprocs, intervals, makespan)
+
+
+def demo_unit_weight_charts(tg: TaskGraph, nprocs: int = 2):
+    """The Fig. 11 comparison: CA vs graph schedule under unit weights
+    (computation 2, communication 1).  Returns (ca_chart, graph_chart)."""
+    from .compute_ahead import compute_ahead_schedule
+    from .graph_schedule import graph_schedule
+
+    ca = compute_ahead_schedule(tg, nprocs)
+    gs = graph_schedule(tg, nprocs, None, unit_comp=2.0, unit_comm=1.0)
+    chart_ca = simulate_schedule(tg, ca, unit_comp=2.0, unit_comm=1.0)
+    chart_gs = simulate_schedule(tg, gs, unit_comp=2.0, unit_comm=1.0)
+    return chart_ca, chart_gs

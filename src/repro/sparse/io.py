@@ -1,0 +1,59 @@
+"""Matrix-Market-flavoured text I/O.
+
+The original experiments used Harwell-Boeing matrices; our synthetic
+replacements can be persisted/exchanged in the ubiquitous MatrixMarket
+coordinate format so they can also be inspected with external tools.
+Only the subset the project needs is supported: real, general/symmetric,
+coordinate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .coo import coo_to_csr, csr_to_coo
+from .csr import CSRMatrix
+
+
+def write_matrix_market(path, A: CSRMatrix, comment: str = "") -> None:
+    """Write ``A`` in MatrixMarket coordinate format (1-based indices)."""
+    rows, cols, vals = csr_to_coo(A)
+    with open(path, "w") as fh:
+        fh.write("%%MatrixMarket matrix coordinate real general\n")
+        for line in comment.splitlines():
+            fh.write(f"% {line}\n")
+        fh.write(f"{A.nrows} {A.ncols} {A.nnz}\n")
+        for r, c, v in zip(rows, cols, vals):
+            fh.write(f"{r + 1} {c + 1} {v:.17g}\n")
+
+
+def read_matrix_market(path) -> CSRMatrix:
+    """Read a real coordinate MatrixMarket file (general or symmetric)."""
+    with open(path) as fh:
+        header = fh.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise ValueError("not a MatrixMarket file")
+        tokens = header.lower().split()
+        if "coordinate" not in tokens or "real" not in tokens and "integer" not in tokens:
+            raise ValueError(f"unsupported MatrixMarket header: {header!r}")
+        symmetric = "symmetric" in tokens
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        nrows, ncols, nnz = (int(t) for t in line.split())
+        rows = np.empty(nnz, dtype=np.int64)
+        cols = np.empty(nnz, dtype=np.int64)
+        vals = np.empty(nnz)
+        for k in range(nnz):
+            parts = fh.readline().split()
+            rows[k] = int(parts[0]) - 1
+            cols[k] = int(parts[1]) - 1
+            vals[k] = float(parts[2]) if len(parts) > 2 else 1.0
+    if symmetric:
+        off = rows != cols
+        rows, cols, vals = (
+            np.concatenate([rows, cols[off]]),
+            np.concatenate([cols, rows[off]]),
+            np.concatenate([vals, vals[off]]),
+        )
+    return coo_to_csr(nrows, ncols, rows, cols, vals)

@@ -1,0 +1,20 @@
+"""2D L/U supernode partitioning and amalgamation (Sections 3.2-3.3)."""
+
+from .partition import (
+    find_supernodes,
+    BlockPartition,
+    build_partition,
+    supernode_stats,
+)
+from .amalgamate import amalgamate_supernodes
+from .structure import BlockStructure, build_block_structure
+
+__all__ = [
+    "find_supernodes",
+    "BlockPartition",
+    "build_partition",
+    "supernode_stats",
+    "amalgamate_supernodes",
+    "BlockStructure",
+    "build_block_structure",
+]

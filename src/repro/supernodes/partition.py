@@ -1,0 +1,117 @@
+"""L-supernode detection and the 2D L/U block partition (Section 3.2).
+
+A supernode of the *static* structure is a maximal run of consecutive
+columns ``k .. k+s`` whose L-column structures are nested exactly:
+``lcol[k+1] == lcol[k] \\ {k}`` — i.e. identical below-diagonal structure
+and a structurally dense diagonal block.  Following the paper, the column
+partition is then applied to the **rows as well**, dividing the matrix into
+``N x N`` submatrices; Theorem 1 guarantees every nonzero U submatrix then
+consists of structurally dense subcolumns.
+
+Supernodes larger than ``max_size`` are split (the paper uses block size 25
+to balance cache reuse against lost parallelism).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..symbolic import SymbolicFactorization
+
+
+def find_supernodes(sym: SymbolicFactorization, max_size: int = 25) -> list:
+    """Return supernode boundaries ``[s0=0, s1, ..., n]`` from the static
+    L structure, capping supernode width at ``max_size``."""
+    n = sym.n
+    bounds = [0]
+    start = 0
+    for k in range(1, n):
+        prev = sym.lcol[k - 1]
+        cur = sym.lcol[k]
+        # same supernode iff lcol[k] == lcol[k-1] minus its diagonal entry
+        same = len(cur) == len(prev) - 1 and np.array_equal(prev[1:], cur)
+        if not same or k - start >= max_size:
+            bounds.append(k)
+            start = k
+    bounds.append(n)
+    return bounds
+
+
+@dataclass
+class BlockPartition:
+    """The 2D partition: ``N`` row/column blocks with bounds ``S``.
+
+    ``bounds[I] .. bounds[I+1]-1`` are the positions of block ``I``;
+    ``block_of[p]`` maps a global position to its block.
+    """
+
+    bounds: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.bounds = np.asarray(self.bounds, dtype=np.int64)
+        n = int(self.bounds[-1])
+        self.block_of = np.empty(n, dtype=np.int64)
+        for b in range(self.N):
+            self.block_of[self.bounds[b] : self.bounds[b + 1]] = b
+
+    @property
+    def N(self) -> int:
+        """Number of blocks."""
+        return len(self.bounds) - 1
+
+    @property
+    def n(self) -> int:
+        return int(self.bounds[-1])
+
+    def start(self, b: int) -> int:
+        """S(b): first position of block b."""
+        return int(self.bounds[b])
+
+    def size(self, b: int) -> int:
+        return int(self.bounds[b + 1] - self.bounds[b])
+
+    def positions(self, b: int) -> np.ndarray:
+        return np.arange(self.bounds[b], self.bounds[b + 1])
+
+    def sizes(self) -> np.ndarray:
+        return np.diff(self.bounds)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"BlockPartition(N={self.N}, n={self.n})"
+
+
+def build_partition(
+    sym: SymbolicFactorization,
+    max_size: int = 25,
+    amalgamation: int = 0,
+) -> BlockPartition:
+    """Supernode partition of the static structure, optionally relaxed by
+    amalgamation factor ``amalgamation`` (0 disables; the paper finds 4-6
+    best)."""
+    bounds = find_supernodes(sym, max_size=max_size)
+    if amalgamation > 0:
+        from .amalgamate import amalgamate_supernodes
+
+        bounds = amalgamate_supernodes(
+            sym, bounds, factor=amalgamation, max_size=max_size
+        )
+    return BlockPartition(np.asarray(bounds, dtype=np.int64))
+
+
+def supernode_stats(sym: SymbolicFactorization, max_size: int = 25) -> dict:
+    """Width statistics of the exact supernode partition.
+
+    The paper motivates amalgamation with "the average size of a supernode
+    after L/U partitioning is very small, about 1.5 to two columns"; this
+    reports the measured distribution for a static structure.
+    """
+    bounds = find_supernodes(sym, max_size=max_size)
+    widths = np.diff(np.asarray(bounds))
+    return {
+        "count": int(len(widths)),
+        "mean_width": float(widths.mean()) if len(widths) else 0.0,
+        "max_width": int(widths.max()) if len(widths) else 0,
+        "singletons": int(np.count_nonzero(widths == 1)),
+    }

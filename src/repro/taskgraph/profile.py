@@ -1,0 +1,72 @@
+"""Parallelism profile of the LU task DAG.
+
+Quantifies the "irregular task parallelism" the paper exploits: total work,
+critical path, average parallelism (their ratio), per-level task-count
+histogram, and the task-granularity spread (the mixed granularities that
+make dynamic load balancing impractical on distributed memory — Section
+5.1's argument for static graph scheduling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .dag import TaskGraph
+
+
+@dataclass
+class ParallelismProfile:
+    """Summary statistics of a task graph under a machine cost model."""
+
+    total_seconds: float
+    critical_path_seconds: float
+    ntasks: int
+    depth: int  # longest chain, in tasks
+    max_width: int  # widest topological level
+    granularity_p10: float  # 10th/90th percentile task seconds
+    granularity_p90: float
+
+    @property
+    def average_parallelism(self) -> float:
+        """Total work / critical path — the speedup any schedule can hope
+        for (Brent's bound)."""
+        if self.critical_path_seconds <= 0:
+            return 1.0
+        return self.total_seconds / self.critical_path_seconds
+
+    @property
+    def granularity_spread(self) -> float:
+        """p90/p10 of task durations — the 'mixed granularities' factor."""
+        if self.granularity_p10 <= 0:
+            return float("inf")
+        return self.granularity_p90 / self.granularity_p10
+
+
+def parallelism_profile(tg: TaskGraph, spec) -> ParallelismProfile:
+    """Compute the profile of ``tg`` under ``spec``'s cost model."""
+    durations = np.array([tg.seconds(t, spec) for t in tg.tasks])
+    total = float(durations.sum())
+    cp = tg.critical_path_seconds(spec)
+
+    # topological levels (ignoring communication): level = 1 + max(pred)
+    level = {}
+    for t in tg.tasks:  # tasks are topologically ordered
+        level[t] = 1 + max((level[p] for p in tg.pred.get(t, ())), default=0)
+    depth = max(level.values()) if level else 0
+    widths = np.bincount([level[t] for t in tg.tasks])
+    max_width = int(widths.max()) if len(widths) else 0
+
+    pos = durations[durations > 0]
+    p10 = float(np.percentile(pos, 10)) if len(pos) else 0.0
+    p90 = float(np.percentile(pos, 90)) if len(pos) else 0.0
+    return ParallelismProfile(
+        total_seconds=total,
+        critical_path_seconds=cp,
+        ntasks=len(tg.tasks),
+        depth=depth,
+        max_width=max_width,
+        granularity_p10=p10,
+        granularity_p90=p90,
+    )

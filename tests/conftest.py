@@ -1,0 +1,52 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.matrices import random_nonsymmetric, get_matrix
+from repro.ordering import prepare_matrix
+from repro.sparse import csr_to_dense
+from repro.supernodes import build_partition, build_block_structure
+from repro.symbolic import static_symbolic_factorization
+
+#: small suite matrices that cover every generator family
+SMALL_SUITE = ["sherman5", "lnsp3937", "jpwh991", "orsreg1", "goodwin", "vavasis3"]
+
+
+@pytest.fixture(scope="session")
+def contexts():
+    """Cache of fully prepared pipelines keyed by (name, block, amalg)."""
+    cache = {}
+
+    def get(name, block_size=25, amalgamation=4, scale="small"):
+        key = (name, block_size, amalgamation, scale)
+        if key not in cache:
+            A = get_matrix(name, scale)
+            om = prepare_matrix(A)
+            sym = static_symbolic_factorization(om.A)
+            part = build_partition(sym, max_size=block_size, amalgamation=amalgamation)
+            bstruct = build_block_structure(sym, part)
+            cache[key] = dict(
+                A=A, om=om, sym=sym, part=part, bstruct=bstruct,
+                dense=csr_to_dense(om.A),
+            )
+        return cache[key]
+
+    return get
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+def random_ordered(n, density=0.06, seed=0):
+    """A random ordered (transversal + mindeg) matrix for quick tests."""
+    A = random_nonsymmetric(n, density=density, seed=seed)
+    return prepare_matrix(A)
+
+
+def residual(D, x, b):
+    return np.linalg.norm(D @ x - b) / max(np.linalg.norm(b), 1e-30)

@@ -1,0 +1,74 @@
+"""MFLOPS convention, load balance, and the Eq. (1)-(4) model."""
+
+import pytest
+
+from repro.analysis import (
+    achieved_mflops,
+    load_balance_factor,
+    sequential_time_model,
+)
+from repro.machine import T3D, T3E
+
+
+class TestMflops:
+    def test_formula(self):
+        assert achieved_mflops(2e6, 2.0) == pytest.approx(1.0)
+
+    def test_zero_time(self):
+        assert achieved_mflops(1.0, 0.0) == float("inf")
+
+
+class TestLoadBalance:
+    def test_perfect_balance(self):
+        assert load_balance_factor([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_imbalance(self):
+        assert load_balance_factor([9.0, 3.0]) == pytest.approx(12 / 18)
+
+    def test_empty_or_zero(self):
+        assert load_balance_factor([]) == 1.0
+        assert load_balance_factor([0.0, 0.0]) == 1.0
+
+    def test_bounds(self):
+        lb = load_balance_factor([1.0, 2.0, 7.0])
+        assert 0.0 < lb <= 1.0
+
+
+class TestSequentialModel:
+    def test_paper_parameters_t3d(self):
+        """With the paper's measured parameters (r ~ 0.65, C~/C ~ 3.98,
+        h ~ 0.82), Eq. (4) predicts a T3D ratio just below 2 — consistent
+        with the Table 2 band where S* runs at most ~2x SuperLU's time on
+        the worst matrices while winning on dense ones."""
+        m = sequential_time_model(
+            T3D, superlu_flops=1.0, sstar_flops=3.98, dgemm_fraction=0.65, h=0.82
+        )
+        assert 1.5 < m.time_ratio < 2.1
+
+    def test_paper_parameters_t3e(self):
+        # the faster DGEMM on T3E pulls the predicted ratio down
+        t3d = sequential_time_model(T3D, 1.0, 3.98, 0.65, h=0.82)
+        t3e = sequential_time_model(T3E, 1.0, 3.98, 0.65, h=0.82)
+        assert t3e.time_ratio < t3d.time_ratio
+
+    def test_dense_case_t3d(self):
+        """Dense: r = 1, C~/C = 1 -> ratio = (w3/w2)/(1+h) ~ 0.45-0.48."""
+        m = sequential_time_model(
+            T3D, superlu_flops=1.0, sstar_flops=1.0, dgemm_fraction=1.0, h=0.82
+        )
+        assert m.time_ratio == pytest.approx(0.48, abs=0.08)
+
+    def test_dense_case_t3e(self):
+        m = sequential_time_model(
+            T3E, superlu_flops=1.0, sstar_flops=1.0, dgemm_fraction=1.0, h=0.82
+        )
+        assert m.time_ratio == pytest.approx(0.42, abs=0.08)
+
+    def test_more_dgemm_is_faster(self):
+        lo = sequential_time_model(T3D, 1.0, 2.0, dgemm_fraction=0.2)
+        hi = sequential_time_model(T3D, 1.0, 2.0, dgemm_fraction=0.9)
+        assert hi.t_sstar < lo.t_sstar
+
+    def test_flop_ratio_recorded(self):
+        m = sequential_time_model(T3D, 2.0, 5.0, 0.5)
+        assert m.flop_ratio == pytest.approx(2.5)

@@ -1,0 +1,118 @@
+"""The GEPP oracle and the SuperLU-like dynamic factorization."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import dense_gepp, gepp_solve, superlu_like_factor
+from repro.matrices import random_nonsymmetric, dense_matrix
+from repro.ordering import prepare_matrix
+from repro.sparse import csr_to_dense, coo_to_csr
+
+
+class TestDenseGEPP:
+    def test_solve_matches_numpy(self, rng):
+        D = rng.uniform(-1, 1, (25, 25)) + 3 * np.eye(25)
+        lu, ipiv = dense_gepp(D)
+        b = rng.uniform(-1, 1, 25)
+        x = gepp_solve(lu, ipiv, b)
+        assert np.linalg.norm(D @ x - b) / np.linalg.norm(b) < 1e-12
+
+    def test_reconstruction(self, rng):
+        D = rng.uniform(-1, 1, (10, 10)) + np.eye(10)
+        lu, ipiv = dense_gepp(D)
+        L = np.tril(lu, -1) + np.eye(10)
+        U = np.triu(lu)
+        P = np.eye(10)
+        for k, t in enumerate(ipiv):
+            P[[k, t]] = P[[t, k]]
+        assert np.allclose(L @ U, P @ D)
+
+    def test_singular_raises(self):
+        with pytest.raises(np.linalg.LinAlgError):
+            dense_gepp(np.zeros((3, 3)))
+
+    def test_rectangular_rejected(self):
+        with pytest.raises(ValueError):
+            dense_gepp(np.ones((2, 3)))
+
+    def test_pivots_pick_max_abs(self):
+        D = np.array([[1.0, 0.0], [-5.0, 1.0]])
+        _, ipiv = dense_gepp(D)
+        assert ipiv[0] == 1
+
+
+class TestSuperLULike:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_solve_matches_numpy(self, seed):
+        A = random_nonsymmetric(50, density=0.1, seed=seed)
+        om = prepare_matrix(A)
+        dyn = superlu_like_factor(om.A)
+        D = csr_to_dense(om.A)
+        b = np.cos(np.arange(50))
+        x = dyn.solve(b)
+        assert np.allclose(x, np.linalg.solve(D, b), rtol=1e-8, atol=1e-10)
+
+    def test_pivot_positions_match_dense_gepp(self):
+        A = random_nonsymmetric(30, density=0.12, seed=9)
+        om = prepare_matrix(A)
+        dyn = superlu_like_factor(om.A)
+        D = csr_to_dense(om.A)
+        _, ipiv = dense_gepp(D)
+        # reconstruct dense GEPP's permutation: original row -> position
+        n = 30
+        rows = list(range(n))
+        for k, t in enumerate(ipiv):
+            rows[k], rows[t] = rows[t], rows[k]
+        perm_dense = np.empty(n, dtype=int)
+        perm_dense[rows] = np.arange(n)
+        assert np.array_equal(dyn.perm_r, perm_dense)
+
+    def test_factor_entries_at_least_nnz(self):
+        A = random_nonsymmetric(40, density=0.08, seed=3)
+        om = prepare_matrix(A)
+        dyn = superlu_like_factor(om.A)
+        assert dyn.factor_entries >= om.A.nnz * 0.8  # fill-in dominates
+
+    def test_dense_case_full_fill(self):
+        A = dense_matrix(15, seed=0)
+        dyn = superlu_like_factor(A)
+        assert dyn.factor_entries == 225
+
+    def test_flops_positive_and_below_dense_bound(self):
+        A = random_nonsymmetric(30, density=0.1, seed=5)
+        om = prepare_matrix(A)
+        dyn = superlu_like_factor(om.A)
+        assert 0 < dyn.flops <= (2.0 / 3.0) * 30**3 * 1.5
+
+    def test_random_pivot_rule_still_solves(self):
+        A = random_nonsymmetric(30, density=0.15, seed=7)
+        om = prepare_matrix(A)
+        dyn = superlu_like_factor(om.A, pivot_rule="random")
+        D = csr_to_dense(om.A)
+        b = np.ones(30)
+        # random pivoting is not backward stable; use a loose check
+        x = dyn.solve(b)
+        assert np.linalg.norm(D @ x - b) / np.linalg.norm(b) < 1e-4
+
+    def test_unknown_rule_rejected(self):
+        A = random_nonsymmetric(10, seed=1)
+        with pytest.raises(ValueError, match="pivot rule"):
+            superlu_like_factor(A, pivot_rule="bogus")
+
+    def test_structurally_singular_detected(self):
+        A = coo_to_csr(3, 3, [0, 1, 2], [0, 0, 0], [1.0, 2.0, 3.0])
+        with pytest.raises(np.linalg.LinAlgError):
+            superlu_like_factor(A)
+
+    def test_u_row_structures_cover_diagonal(self):
+        A = random_nonsymmetric(20, density=0.15, seed=8)
+        om = prepare_matrix(A)
+        dyn = superlu_like_factor(om.A)
+        for k, row in enumerate(dyn.u_row_structures()):
+            assert row[0] == k
+
+    def test_symbolic_steps_counted(self):
+        A = random_nonsymmetric(30, density=0.1, seed=2)
+        om = prepare_matrix(A)
+        dyn = superlu_like_factor(om.A)
+        assert dyn.symbolic_steps > 0

@@ -1,0 +1,121 @@
+"""Matrix generators: determinism, shape/density regimes, suite registry."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import (
+    SUITE,
+    block_structured,
+    circuit_like,
+    dense_matrix,
+    fem_unstructured,
+    get_matrix,
+    random_nonsymmetric,
+    stencil_2d,
+    stencil_3d,
+    suite_names,
+)
+from repro.ordering import is_structurally_nonsingular
+from repro.sparse import csr_to_dense, structural_symmetry
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "gen",
+        [
+            lambda: stencil_2d(6, 5, seed=9),
+            lambda: stencil_3d(3, 3, 3, ndof=2, seed=9),
+            lambda: fem_unstructured(60, seed=9),
+            lambda: circuit_like(50, seed=9),
+            lambda: block_structured(60, block=12, seed=9),
+            lambda: dense_matrix(20, seed=9),
+            lambda: random_nonsymmetric(40, seed=9),
+        ],
+    )
+    def test_same_seed_same_matrix(self, gen):
+        A, B = gen(), gen()
+        assert np.array_equal(csr_to_dense(A), csr_to_dense(B))
+
+
+class TestStencils:
+    def test_stencil_2d_order(self):
+        A = stencil_2d(7, 4)
+        assert A.shape == (28, 28)
+
+    def test_stencil_2d_is_five_point(self):
+        A = stencil_2d(5, 5, pattern_nonsym=0.0)
+        # interior node has 5 entries
+        counts = np.diff(A.indptr)
+        assert counts.max() == 5
+        assert counts.min() == 3  # corners
+
+    def test_stencil_2d_pattern_nonsymmetry(self):
+        from repro.sparse import structural_symmetry
+
+        A = stencil_2d(12, 12, pattern_nonsym=0.5, seed=4)
+        assert structural_symmetry(A) > 1.1
+
+    def test_stencil_3d_ndof(self):
+        A = stencil_3d(2, 2, 2, ndof=3)
+        assert A.shape == (24, 24)
+
+    def test_stencil_3d_pattern_symmetric_values_not(self):
+        A = stencil_3d(3, 3, 2, ndof=1, seed=5)
+        D = csr_to_dense(A)
+        assert np.array_equal(D != 0, (D != 0).T)
+        assert not np.array_equal(D, D.T)
+
+
+class TestFamilies:
+    def test_fem_nonsymmetric_pattern(self):
+        A = fem_unstructured(120, nonsym=0.5, seed=3)
+        assert structural_symmetry(A) > 1.05
+
+    def test_fem_nearly_symmetric_when_nonsym_zero(self):
+        A = fem_unstructured(120, nonsym=0.0, seed=3)
+        assert structural_symmetry(A) < 1.1
+
+    def test_circuit_has_rail_rows(self):
+        A = circuit_like(300, seed=2)
+        counts = np.diff(A.indptr)
+        assert counts.max() >= 15  # the supply-rail rows
+
+    def test_dense_is_dense(self):
+        A = dense_matrix(15)
+        assert A.nnz == 225
+
+    def test_random_zero_free_diagonal(self):
+        A = random_nonsymmetric(30, seed=8)
+        assert A.has_zero_free_diagonal()
+
+
+class TestSuite:
+    def test_all_names_resolve(self):
+        for name in suite_names():
+            A = get_matrix(name, "small")
+            assert A.nrows > 50
+
+    def test_paper_metadata_present(self):
+        for name, spec in SUITE.items():
+            assert spec.paper_order > 0
+            assert spec.paper_nnz > 0
+            assert spec.paper_symmetry >= 1.0
+
+    def test_structurally_nonsingular(self):
+        for name in ["sherman5", "jpwh991", "goodwin", "vavasis3"]:
+            assert is_structurally_nonsingular(get_matrix(name, "small")), name
+
+    def test_bench_scale_larger(self):
+        a = get_matrix("orsreg1", "small")
+        b = get_matrix("orsreg1", "bench")
+        assert b.nrows > a.nrows
+
+    def test_unknown_scale(self):
+        with pytest.raises(ValueError, match="scale"):
+            SUITE["orsreg1"].generate("huge")
+
+    def test_symmetry_regimes_match_paper_classes(self):
+        # matrices the paper lists as structurally symmetric stay near 1
+        assert structural_symmetry(get_matrix("orsreg1", "small")) == 1.0
+        # goodwin-class is visibly nonsymmetric
+        assert structural_symmetry(get_matrix("goodwin", "small")) > 1.15

@@ -1,0 +1,80 @@
+"""MachineSpec cost model: granularity efficiency and calibration edges."""
+
+import dataclasses
+
+import pytest
+
+from repro.machine import GENERIC, MachineSpec, T3D, T3E
+from repro.machine.specs import GRAN_HALF, REF_GRAN
+
+
+class TestEfficiencyCurve:
+    def test_reference_granularity_is_unity(self):
+        for k in ("dgemm", "dgemv", "blas1"):
+            assert T3E.efficiency(k, REF_GRAN) == pytest.approx(1.0)
+
+    def test_none_granularity_is_nominal(self):
+        assert T3E.efficiency("dgemm", None) == 1.0
+
+    def test_narrow_blocks_derated(self):
+        assert T3E.efficiency("dgemm", 2) < 0.5
+        assert T3E.efficiency("dgemm", 2) < T3E.efficiency("dgemm", 8)
+
+    def test_dgemm_most_sensitive(self):
+        assert T3E.efficiency("dgemm", 2) < T3E.efficiency("dgemv", 2)
+
+    def test_blas1_insensitive(self):
+        assert T3D.efficiency("blas1", 1) == 1.0
+
+    def test_monotone_in_granularity(self):
+        effs = [T3E.efficiency("dgemm", g) for g in (1, 2, 4, 8, 16, 25, 100)]
+        assert all(a <= b for a, b in zip(effs, effs[1:]))
+
+    def test_wide_blocks_can_exceed_reference(self):
+        assert T3E.efficiency("dgemm", 200) > 1.0
+
+
+class TestKernelSeconds:
+    def test_mixed_key_forms(self):
+        t = T3D.kernel_seconds({"dgemm": 103e6, ("dgemm", 25): 103e6})
+        assert t == pytest.approx(2.0, rel=1e-6)
+
+    def test_gran_key_slower_when_narrow(self):
+        t_nominal = T3E.kernel_seconds({("dgemm", None): 1e6})
+        t_narrow = T3E.kernel_seconds({("dgemm", 2): 1e6})
+        assert t_narrow > t_nominal
+
+    def test_empty(self):
+        assert T3E.kernel_seconds({}) == 0.0
+
+
+class TestNetworkModel:
+    def test_zero_bytes_is_latency(self):
+        assert GENERIC.message_seconds(0) == GENERIC.latency_s
+
+    def test_replace_preserves_frozen(self):
+        s2 = dataclasses.replace(T3E, latency_s=9e-6)
+        assert s2.latency_s == 9e-6
+        assert T3E.latency_s == 1e-6  # original untouched
+
+    def test_barrier_minimum(self):
+        assert T3E.barrier_seconds(1) > 0
+        assert T3E.barrier_seconds(2) <= T3E.barrier_seconds(1024)
+
+
+class TestCustomSpec:
+    def test_user_defined_machine(self):
+        spec = MachineSpec(
+            name="toy",
+            dgemm_mflops=10.0,
+            dgemv_mflops=5.0,
+            blas1_mflops=1.0,
+            latency_s=1e-3,
+            bandwidth_bps=1e6,
+        )
+        assert spec.compute_seconds("blas1", 1e6) == pytest.approx(1.0)
+        assert spec.message_seconds(1e6) == pytest.approx(1.001)
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(KeyError):
+            T3E.kernel_rate("dtrsv")

@@ -1,0 +1,121 @@
+"""Transversal, minimum degree and the ordering pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.matrices import random_nonsymmetric, stencil_2d
+from repro.ordering import (
+    is_structurally_nonsingular,
+    maximum_transversal,
+    minimum_degree,
+    prepare_matrix,
+)
+from repro.sparse import ata_pattern, coo_to_csr, csr_to_dense
+
+
+class TestTransversal:
+    def test_identity_when_diagonal_full(self):
+        A = random_nonsymmetric(25, seed=1)  # zero-free diagonal by default
+        perm, matched = maximum_transversal(A)
+        assert matched == 25
+        assert A.permute(row_perm=perm).has_zero_free_diagonal()
+
+    def test_fixes_cyclic_shift(self):
+        # matrix with nonzeros only on the superdiagonal cycle
+        n = 6
+        rows = list(range(n))
+        cols = [(i + 1) % n for i in range(n)]
+        A = coo_to_csr(n, n, rows, cols, np.ones(n))
+        perm, matched = maximum_transversal(A)
+        assert matched == n
+        assert A.permute(row_perm=perm).has_zero_free_diagonal()
+
+    def test_structurally_singular_detected(self):
+        # column 2 is empty
+        A = coo_to_csr(3, 3, [0, 1, 2], [0, 1, 0], [1, 1, 1])
+        _, matched = maximum_transversal(A)
+        assert matched == 2
+        assert not is_structurally_nonsingular(A)
+
+    def test_requires_square(self):
+        A = coo_to_csr(2, 3, [0], [0], [1.0])
+        with pytest.raises(ValueError, match="square"):
+            maximum_transversal(A)
+
+    def test_needs_augmenting_paths(self):
+        # bipartite pattern where the cheap pass cannot finish:
+        # col0: rows {0,1}; col1: rows {0}; cheap assigns row0->col0 then
+        # col1 must steal row0 via augmentation.
+        A = coo_to_csr(2, 2, [0, 1, 0], [0, 0, 1], [1, 1, 1])
+        perm, matched = maximum_transversal(A)
+        assert matched == 2
+        assert A.permute(row_perm=perm).has_zero_free_diagonal()
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_scipy_matching_size(self, seed):
+        pytest.importorskip("scipy")
+        from scipy.sparse import csr_matrix
+        from scipy.sparse.csgraph import maximum_bipartite_matching
+
+        rng = np.random.default_rng(seed)
+        n = 12
+        mask = rng.random((n, n)) < 0.15
+        rows, cols = np.nonzero(mask)
+        A = coo_to_csr(n, n, rows, cols, np.ones(len(rows)))
+        _, matched = maximum_transversal(A)
+        S = csr_matrix((np.ones(len(rows)), (rows, cols)), shape=(n, n))
+        ref = int(np.count_nonzero(maximum_bipartite_matching(S, perm_type="row") >= 0))
+        assert matched == ref
+
+    def test_permutation_is_valid(self):
+        A = random_nonsymmetric(40, density=0.1, seed=5, zero_free_diagonal=False)
+        perm, _ = maximum_transversal(A)
+        assert sorted(perm.tolist()) == list(range(40))
+
+
+class TestMinimumDegree:
+    def test_returns_permutation(self):
+        G = ata_pattern(random_nonsymmetric(30, seed=2))
+        res = minimum_degree(G)
+        assert sorted(res.perm.tolist()) == list(range(30))
+
+    def test_reduces_fill_on_grid(self):
+        from repro.symbolic import static_symbolic_factorization
+
+        A = stencil_2d(9, 9, seed=0)
+        om_natural = prepare_matrix(A, use_mindeg=False)
+        om_md = prepare_matrix(A, use_mindeg=True)
+        f_nat = static_symbolic_factorization(om_natural.A).factor_entries
+        f_md = static_symbolic_factorization(om_md.A).factor_entries
+        assert f_md < f_nat
+
+    def test_single_elimination_mode(self):
+        G = ata_pattern(random_nonsymmetric(15, seed=3))
+        res = minimum_degree(G, multiple=False)
+        assert sorted(res.perm.tolist()) == list(range(15))
+
+
+class TestPipeline:
+    def test_output_has_zero_free_diagonal(self):
+        A = random_nonsymmetric(50, density=0.08, seed=7, zero_free_diagonal=False)
+        om = prepare_matrix(A)
+        assert om.A.has_zero_free_diagonal()
+
+    def test_permutation_consistency(self):
+        A = random_nonsymmetric(30, density=0.15, seed=9)
+        om = prepare_matrix(A)
+        D = csr_to_dense(A)
+        Dp = csr_to_dense(om.A)
+        assert np.array_equal(Dp, D[np.ix_(om.row_perm, om.col_perm)])
+
+    def test_rejects_structurally_singular(self):
+        A = coo_to_csr(3, 3, [0, 1, 2], [0, 0, 0], [1, 1, 1])
+        with pytest.raises(ValueError, match="singular"):
+            prepare_matrix(A)
+
+    def test_rejects_rectangular(self):
+        A = coo_to_csr(2, 3, [0, 1], [0, 1], [1, 1])
+        with pytest.raises(ValueError, match="square"):
+            prepare_matrix(A)

@@ -1,0 +1,103 @@
+"""1D parallel codes: bitwise agreement with sequential, scheduling variants."""
+
+import numpy as np
+import pytest
+
+from repro.machine import T3D, T3E
+from repro.matrices import random_nonsymmetric
+from repro.numfact import LUFactorization, sstar_factor
+from repro.ordering import prepare_matrix
+from repro.parallel import run_1d
+from repro.sparse import csr_to_dense
+from repro.supernodes import build_block_structure, build_partition
+from repro.symbolic import static_symbolic_factorization
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    A = random_nonsymmetric(90, density=0.06, seed=31)
+    om = prepare_matrix(A)
+    sym = static_symbolic_factorization(om.A)
+    part = build_partition(sym, max_size=6, amalgamation=4)
+    bstruct = build_block_structure(sym, part)
+    seq = sstar_factor(om.A, sym=sym, part=part)
+    return dict(om=om, sym=sym, part=part, bstruct=bstruct, seq=seq,
+                dense=csr_to_dense(om.A))
+
+
+def _assert_bitwise_equal(seq, factor):
+    assert set(seq.matrix.blocks) == set(factor.blocks)
+    for key, blk in seq.matrix.blocks.items():
+        assert np.array_equal(blk, factor.blocks[key]), f"block {key} differs"
+    assert seq.matrix.pivot_seq == factor.pivot_seq
+
+
+class TestBitwiseAgreement:
+    @pytest.mark.parametrize("method", ["rapid", "ca"])
+    @pytest.mark.parametrize("nprocs", [1, 2, 3, 4, 8])
+    def test_matches_sequential(self, pipeline, method, nprocs):
+        p = pipeline
+        res = run_1d(p["om"].A, p["part"], p["bstruct"], nprocs, T3E, method=method)
+        _assert_bitwise_equal(p["seq"], res.factor)
+
+    @pytest.mark.parametrize("method", ["rapid", "ca"])
+    def test_solve_works(self, pipeline, method):
+        p = pipeline
+        res = run_1d(p["om"].A, p["part"], p["bstruct"], 4, T3E, method=method)
+        lf = LUFactorization(res.factor, p["sym"], p["part"], p["bstruct"],
+                             res.sim.total_counter())
+        b = np.arange(90.0)
+        x = lf.solve(b)
+        r = np.linalg.norm(p["dense"] @ x - b) / np.linalg.norm(b)
+        assert r < 1e-10
+
+
+class TestCommunication:
+    def test_messages_flow(self, pipeline):
+        p = pipeline
+        res = run_1d(p["om"].A, p["part"], p["bstruct"], 4, T3E, method="rapid")
+        assert res.sim.messages > 0
+        assert res.sim.bytes_sent > 0
+
+    def test_single_proc_no_messages(self, pipeline):
+        p = pipeline
+        res = run_1d(p["om"].A, p["part"], p["bstruct"], 1, T3E, method="ca")
+        assert res.sim.messages == 0
+
+    def test_ca_broadcasts_more_than_rapid(self, pipeline):
+        p = pipeline
+        ca = run_1d(p["om"].A, p["part"], p["bstruct"], 4, T3E, method="ca")
+        ra = run_1d(p["om"].A, p["part"], p["bstruct"], 4, T3E, method="rapid")
+        assert ca.sim.messages >= ra.sim.messages
+
+    def test_buffer_high_water_positive(self, pipeline):
+        p = pipeline
+        res = run_1d(p["om"].A, p["part"], p["bstruct"], 4, T3E, method="rapid")
+        assert max(res.buffer_high_water) > 0
+
+
+class TestTiming:
+    def test_parallel_time_positive_and_bounded(self, pipeline):
+        p = pipeline
+        res = run_1d(p["om"].A, p["part"], p["bstruct"], 4, T3E, method="rapid")
+        serial_time = p["seq"].counter.modeled_seconds(T3E)
+        assert 0 < res.parallel_seconds
+        # cannot be slower than serial + all communication, loosely bounded
+        assert res.parallel_seconds < serial_time * 3 + 1.0
+
+    def test_speedup_with_more_processors(self, pipeline):
+        p = pipeline
+        t2 = run_1d(p["om"].A, p["part"], p["bstruct"], 2, T3E, "rapid").parallel_seconds
+        t8 = run_1d(p["om"].A, p["part"], p["bstruct"], 8, T3E, "rapid").parallel_seconds
+        assert t8 < t2
+
+    def test_t3e_faster_than_t3d(self, pipeline):
+        p = pipeline
+        td = run_1d(p["om"].A, p["part"], p["bstruct"], 4, T3D, "rapid").parallel_seconds
+        te = run_1d(p["om"].A, p["part"], p["bstruct"], 4, T3E, "rapid").parallel_seconds
+        assert te < td
+
+    def test_unknown_method_rejected(self, pipeline):
+        p = pipeline
+        with pytest.raises(ValueError, match="method"):
+            run_1d(p["om"].A, p["part"], p["bstruct"], 2, T3E, method="bogus")

@@ -1,0 +1,72 @@
+"""COO assembly and canonicalisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sparse import coo_to_csr, csr_to_coo, csr_to_dense
+
+
+class TestAssembly:
+    def test_sorted_and_unique(self):
+        A = coo_to_csr(2, 3, [1, 0, 0], [0, 2, 1], [5.0, 1.0, 2.0])
+        assert A.row_indices(0).tolist() == [1, 2]
+        assert A.row_indices(1).tolist() == [0]
+
+    def test_duplicates_summed(self):
+        A = coo_to_csr(2, 2, [0, 0, 0], [1, 1, 1], [1.0, 2.0, 4.0])
+        assert A.get(0, 1) == 7.0
+        assert A.nnz == 1
+
+    def test_duplicates_last_wins(self):
+        A = coo_to_csr(2, 2, [0, 0], [1, 1], [1.0, 9.0], sum_duplicates=False)
+        assert A.get(0, 1) == 9.0
+
+    def test_empty(self):
+        A = coo_to_csr(3, 3, [], [], [])
+        assert A.nnz == 0
+        assert csr_to_dense(A).sum() == 0.0
+
+    def test_default_values(self):
+        A = coo_to_csr(2, 2, [0, 1], [1, 0])
+        assert A.get(0, 1) == 1.0
+
+
+class TestErrors:
+    def test_row_out_of_range(self):
+        with pytest.raises(ValueError, match="row index"):
+            coo_to_csr(2, 2, [2], [0], [1.0])
+
+    def test_col_out_of_range(self):
+        with pytest.raises(ValueError, match="column index"):
+            coo_to_csr(2, 2, [0], [5], [1.0])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="equal length"):
+            coo_to_csr(2, 2, [0, 1], [0], [1.0])
+
+
+class TestRoundtrip:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 7), st.integers(0, 7),
+                st.floats(-10, 10, allow_nan=False),
+            ),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_coo_csr_coo(self, triplets):
+        rows = [t[0] for t in triplets]
+        cols = [t[1] for t in triplets]
+        vals = [t[2] for t in triplets]
+        A = coo_to_csr(8, 8, rows, cols, vals)
+        # reference: dense accumulation
+        D = np.zeros((8, 8))
+        for r, c, v in triplets:
+            D[r, c] += v
+        r2, c2, v2 = csr_to_coo(A)
+        D2 = np.zeros((8, 8))
+        D2[r2, c2] = v2
+        assert np.allclose(D2, D)

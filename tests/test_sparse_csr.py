@@ -1,0 +1,109 @@
+"""Unit tests for the CSR substrate."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import CSRMatrix, coo_to_csr, csr_to_dense, dense_to_csr
+
+
+def small():
+    # [[1, 0, 2],
+    #  [0, 3, 0],
+    #  [4, 0, 5]]
+    return coo_to_csr(3, 3, [0, 0, 1, 2, 2], [0, 2, 1, 0, 2], [1, 2, 3, 4, 5])
+
+
+class TestBasics:
+    def test_shape_nnz(self):
+        A = small()
+        assert A.shape == (3, 3)
+        assert A.nnz == 5
+
+    def test_row_access(self):
+        A = small()
+        cols, vals = A.row(0)
+        assert cols.tolist() == [0, 2]
+        assert vals.tolist() == [1.0, 2.0]
+
+    def test_get(self):
+        A = small()
+        assert A.get(0, 2) == 2.0
+        assert A.get(0, 1) == 0.0
+        assert A.get(2, 2) == 5.0
+
+    def test_has_entry(self):
+        A = small()
+        assert A.has_entry(1, 1)
+        assert not A.has_entry(1, 0)
+
+    def test_diagonal(self):
+        A = small()
+        assert A.diagonal().tolist() == [1.0, 3.0, 5.0]
+
+    def test_zero_free_diagonal(self):
+        A = small()
+        assert A.has_zero_free_diagonal()
+        B = coo_to_csr(2, 2, [0, 1], [1, 0], [1.0, 1.0])
+        assert not B.has_zero_free_diagonal()
+
+    def test_default_data_is_ones(self):
+        A = CSRMatrix(2, 2, [0, 1, 2], [0, 1])
+        assert A.data.tolist() == [1.0, 1.0]
+
+    def test_copy_independent(self):
+        A = small()
+        B = A.copy()
+        B.data[0] = 99.0
+        assert A.data[0] == 1.0
+
+
+class TestValidation:
+    def test_bad_indptr_length(self):
+        with pytest.raises(ValueError, match="indptr"):
+            CSRMatrix(3, 3, [0, 1], [0], [1.0])
+
+    def test_indices_data_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            CSRMatrix(1, 3, [0, 2], [0, 1], [1.0])
+
+    def test_indptr_span(self):
+        with pytest.raises(ValueError, match="span"):
+            CSRMatrix(1, 3, [0, 5], [0, 1], [1.0, 2.0])
+
+
+class TestPermute:
+    def test_row_permutation(self):
+        A = small()
+        P = A.permute(row_perm=[2, 0, 1])
+        D = csr_to_dense(A)
+        assert np.array_equal(csr_to_dense(P), D[[2, 0, 1], :])
+
+    def test_col_permutation(self):
+        A = small()
+        P = A.permute(col_perm=[1, 2, 0])
+        D = csr_to_dense(A)
+        assert np.array_equal(csr_to_dense(P), D[:, [1, 2, 0]])
+
+    def test_both(self):
+        A = small()
+        P = A.permute(row_perm=[1, 2, 0], col_perm=[2, 0, 1])
+        D = csr_to_dense(A)
+        assert np.array_equal(csr_to_dense(P), D[[1, 2, 0], :][:, [2, 0, 1]])
+
+    def test_identity(self):
+        A = small()
+        P = A.permute()
+        assert np.array_equal(csr_to_dense(P), csr_to_dense(A))
+
+
+class TestDenseBridges:
+    def test_roundtrip(self, rng):
+        D = rng.uniform(-1, 1, size=(7, 5))
+        D[np.abs(D) < 0.4] = 0.0
+        A = dense_to_csr(D)
+        assert np.array_equal(csr_to_dense(A), D)
+
+    def test_drop_tol(self):
+        D = np.array([[0.1, 1.0], [2.0, 0.05]])
+        A = dense_to_csr(D, drop_tol=0.5)
+        assert A.nnz == 2

@@ -1,0 +1,59 @@
+"""MatrixMarket I/O round trips."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import random_nonsymmetric
+from repro.sparse import (
+    csr_to_dense,
+    read_matrix_market,
+    write_matrix_market,
+)
+
+
+class TestRoundtrip:
+    def test_general(self, tmp_path):
+        A = random_nonsymmetric(20, density=0.15, seed=4)
+        p = tmp_path / "a.mtx"
+        write_matrix_market(p, A, comment="test matrix\nsecond line")
+        B = read_matrix_market(p)
+        assert np.allclose(csr_to_dense(B), csr_to_dense(A))
+
+    def test_comment_preserved_in_file(self, tmp_path):
+        A = random_nonsymmetric(5, density=0.3, seed=1)
+        p = tmp_path / "a.mtx"
+        write_matrix_market(p, A, comment="hello")
+        assert "% hello" in p.read_text()
+
+    def test_symmetric_read(self, tmp_path):
+        p = tmp_path / "s.mtx"
+        p.write_text(
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 4\n"
+            "1 1 2.0\n"
+            "2 1 -1.0\n"
+            "3 2 -1.0\n"
+            "3 3 2.0\n"
+        )
+        A = read_matrix_market(p)
+        D = csr_to_dense(A)
+        assert np.array_equal(D, D.T)
+        assert A.get(0, 1) == -1.0
+        assert A.get(1, 0) == -1.0
+
+    def test_pattern_entries_default_one(self, tmp_path):
+        p = tmp_path / "p.mtx"
+        p.write_text(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 2\n"
+            "1 1\n"
+            "2 2\n"
+        )
+        A = read_matrix_market(p)
+        assert A.get(0, 0) == 1.0
+
+    def test_rejects_non_mm(self, tmp_path):
+        p = tmp_path / "bad.mtx"
+        p.write_text("garbage\n1 1 1\n")
+        with pytest.raises(ValueError, match="MatrixMarket"):
+            read_matrix_market(p)

@@ -1,0 +1,88 @@
+"""Pattern algebra: transpose, AᵀA, A+Aᵀ, symmetry, matvec."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.matrices import random_nonsymmetric
+from repro.sparse import (
+    ata_pattern,
+    aplusat_pattern,
+    csr_matvec,
+    csr_to_dense,
+    csr_transpose,
+    dense_to_csr,
+    pattern_transpose,
+    structural_symmetry,
+)
+
+
+def _rand(n, density, seed):
+    return random_nonsymmetric(n, density=density, seed=seed)
+
+
+class TestTranspose:
+    def test_numeric_transpose(self):
+        A = _rand(12, 0.2, 1)
+        assert np.array_equal(csr_to_dense(csr_transpose(A)), csr_to_dense(A).T)
+
+    def test_pattern_transpose_values_are_one(self):
+        A = _rand(12, 0.2, 2)
+        P = pattern_transpose(A)
+        assert set(P.data.tolist()) <= {1.0}
+        assert np.array_equal(csr_to_dense(P) != 0, csr_to_dense(A).T != 0)
+
+    def test_double_transpose_identity(self):
+        A = _rand(9, 0.3, 3)
+        assert np.array_equal(
+            csr_to_dense(csr_transpose(csr_transpose(A))), csr_to_dense(A)
+        )
+
+
+class TestAtaPattern:
+    @given(st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_dense(self, seed):
+        A = _rand(10, 0.15, seed)
+        D = csr_to_dense(A) != 0
+        ref = (D.T.astype(int) @ D.astype(int)) > 0
+        got = csr_to_dense(ata_pattern(A)) != 0
+        assert np.array_equal(got, ref)
+
+    def test_symmetric(self):
+        A = _rand(15, 0.2, 7)
+        P = csr_to_dense(ata_pattern(A)) != 0
+        assert np.array_equal(P, P.T)
+
+
+class TestAplusAt:
+    def test_matches_dense(self):
+        A = _rand(12, 0.2, 5)
+        D = csr_to_dense(A) != 0
+        got = csr_to_dense(aplusat_pattern(A)) != 0
+        assert np.array_equal(got, D | D.T)
+
+
+class TestSymmetry:
+    def test_symmetric_matrix_is_one(self):
+        D = np.array([[1.0, 2.0, 0], [3.0, 1.0, 0], [0, 0, 1.0]])
+        assert structural_symmetry(dense_to_csr(D)) == 1.0
+
+    def test_asymmetric_increases(self):
+        D = np.array([[1.0, 2.0], [0.0, 1.0]])
+        assert structural_symmetry(dense_to_csr(D)) > 1.0
+
+    def test_bounds(self):
+        A = _rand(20, 0.1, 11)
+        s = structural_symmetry(A)
+        assert 1.0 <= s <= 2.0
+
+
+class TestMatvec:
+    def test_matches_dense(self, rng):
+        A = _rand(17, 0.25, 13)
+        x = rng.uniform(-1, 1, 17)
+        assert np.allclose(csr_matvec(A, x), csr_to_dense(A) @ x)
+
+    def test_empty_rows(self):
+        A = dense_to_csr(np.zeros((3, 3)))
+        assert np.array_equal(csr_matvec(A, np.ones(3)), np.zeros(3))

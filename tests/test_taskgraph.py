@@ -1,0 +1,108 @@
+"""Task DAG construction: rules, weights, b-levels."""
+
+import numpy as np
+import pytest
+
+from repro.machine import T3E
+from repro.matrices import random_nonsymmetric
+from repro.ordering import prepare_matrix
+from repro.supernodes import build_block_structure, build_partition
+from repro.symbolic import static_symbolic_factorization
+from repro.taskgraph import FACTOR, UPDATE, build_task_graph
+
+
+@pytest.fixture(scope="module")
+def tg_and_bstruct():
+    A = random_nonsymmetric(60, density=0.08, seed=17)
+    om = prepare_matrix(A)
+    sym = static_symbolic_factorization(om.A)
+    part = build_partition(sym, max_size=6, amalgamation=4)
+    bstruct = build_block_structure(sym, part)
+    return build_task_graph(bstruct), bstruct
+
+
+class TestConstruction:
+    def test_one_factor_per_block(self, tg_and_bstruct):
+        tg, bstruct = tg_and_bstruct
+        factors = [t for t in tg.tasks if t[0] == FACTOR]
+        assert len(factors) == bstruct.N
+
+    def test_update_iff_u_block(self, tg_and_bstruct):
+        tg, bstruct = tg_and_bstruct
+        updates = {(t[1], t[2]) for t in tg.tasks if t[0] == UPDATE}
+        expect = {
+            (k, j) for k in range(bstruct.N) for j in bstruct.u_block_cols(k)
+        }
+        assert updates == expect
+
+    def test_rule1_factor_feeds_updates(self, tg_and_bstruct):
+        tg, _ = tg_and_bstruct
+        for t in tg.tasks:
+            if t[0] == UPDATE:
+                assert (FACTOR, t[1]) in tg.pred[t]
+
+    def test_rule2_last_update_feeds_factor(self, tg_and_bstruct):
+        tg, bstruct = tg_and_bstruct
+        for j in range(bstruct.N):
+            ups = [t for t in tg.tasks if t[0] == UPDATE and t[2] == j]
+            if ups:
+                last = max(ups, key=lambda t: t[1])
+                assert (FACTOR, j) in tg.succ[last]
+
+    def test_rule3_updates_chained(self, tg_and_bstruct):
+        tg, bstruct = tg_and_bstruct
+        for j in range(bstruct.N):
+            ups = sorted(
+                (t for t in tg.tasks if t[0] == UPDATE and t[2] == j),
+                key=lambda t: t[1],
+            )
+            for a, b in zip(ups, ups[1:]):
+                assert b in tg.succ[a]
+
+    def test_topological_enumeration(self, tg_and_bstruct):
+        tg, _ = tg_and_bstruct
+        index = {t: i for i, t in enumerate(tg.tasks)}
+        for t, succs in tg.succ.items():
+            for s in succs:
+                assert index[t] < index[s]
+
+    def test_dense_update_count(self):
+        """For a dense matrix there are N(N-1)/2 update tasks (Section 4.1)."""
+        from repro.matrices import dense_matrix
+
+        A = dense_matrix(40, seed=0)
+        sym = static_symbolic_factorization(A)
+        part = build_partition(sym, max_size=5, amalgamation=0)
+        bstruct = build_block_structure(sym, part)
+        tg = build_task_graph(bstruct)
+        N = part.N
+        updates = [t for t in tg.tasks if t[0] == UPDATE]
+        assert len(updates) == N * (N - 1) // 2
+
+
+class TestWeights:
+    def test_positive_flops(self, tg_and_bstruct):
+        tg, _ = tg_and_bstruct
+        for t in tg.tasks:
+            kernel, fl, gran = tg.comp[t]
+            assert fl >= 0
+            assert gran >= 1
+            assert kernel in ("dgemv", "dgemm")
+
+    def test_column_bytes_positive(self, tg_and_bstruct):
+        tg, bstruct = tg_and_bstruct
+        for k in range(bstruct.N):
+            assert tg.col_bytes[k] > 0
+
+    def test_blevel_monotone_along_edges(self, tg_and_bstruct):
+        tg, _ = tg_and_bstruct
+        bl = tg.b_levels(T3E)
+        for t, succs in tg.succ.items():
+            for s in succs:
+                assert bl[t] >= bl[s]
+
+    def test_critical_path_bounds(self, tg_and_bstruct):
+        tg, _ = tg_and_bstruct
+        cp = tg.critical_path_seconds(T3E)
+        serial = sum(tg.seconds(t, T3E) for t in tg.tasks)
+        assert 0 < cp <= serial * 1.5  # cp includes comm, serial does not

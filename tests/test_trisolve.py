@@ -1,0 +1,127 @@
+"""Distributed 1D triangular solves."""
+
+import numpy as np
+import pytest
+
+from repro.machine import T3E
+from repro.matrices import random_nonsymmetric, get_matrix
+from repro.numfact import LUFactorization
+from repro.ordering import prepare_matrix
+from repro.parallel import run_1d, run_1d_trisolve
+from repro.sparse import csr_to_dense
+from repro.supernodes import build_block_structure, build_partition
+from repro.symbolic import static_symbolic_factorization
+
+
+@pytest.fixture(scope="module")
+def factored():
+    A = random_nonsymmetric(90, density=0.07, seed=71)
+    om = prepare_matrix(A)
+    sym = static_symbolic_factorization(om.A)
+    part = build_partition(sym, max_size=6, amalgamation=4)
+    bstruct = build_block_structure(sym, part)
+    res = run_1d(om.A, part, bstruct, 4, T3E, method="rapid")
+    lu = LUFactorization(res.factor, sym, part, bstruct, res.sim.total_counter())
+    return om, lu, res
+
+
+class TestCorrectness:
+    def test_bitwise_equal_to_sequential(self, factored):
+        om, lu, res = factored
+        b = np.sin(np.arange(om.n) + 1.0)
+        tri = run_1d_trisolve(lu, res.schedule.owner, b, 4, T3E)
+        assert np.array_equal(tri.x, lu.solve(b))
+
+    def test_residual_small(self, factored):
+        om, lu, res = factored
+        b = np.ones(om.n)
+        tri = run_1d_trisolve(lu, res.schedule.owner, b, 4, T3E)
+        D = csr_to_dense(om.A)
+        assert np.linalg.norm(D @ tri.x - b) / np.linalg.norm(b) < 1e-10
+
+    @pytest.mark.parametrize("nprocs", [1, 2, 3, 8])
+    def test_other_processor_counts(self, nprocs):
+        A = random_nonsymmetric(60, density=0.1, seed=72)
+        om = prepare_matrix(A)
+        sym = static_symbolic_factorization(om.A)
+        part = build_partition(sym, max_size=5, amalgamation=3)
+        bstruct = build_block_structure(sym, part)
+        res = run_1d(om.A, part, bstruct, nprocs, T3E, method="ca")
+        lu = LUFactorization(res.factor, sym, part, bstruct, res.sim.total_counter())
+        b = np.arange(60.0) - 30.0
+        tri = run_1d_trisolve(lu, res.schedule.owner, b, nprocs, T3E)
+        assert np.array_equal(tri.x, lu.solve(b))
+
+    def test_rhs_shape_validated(self, factored):
+        om, lu, res = factored
+        with pytest.raises(ValueError, match="rhs"):
+            run_1d_trisolve(lu, res.schedule.owner, np.ones(3), 4, T3E)
+
+
+class TestCost:
+    def test_solve_much_cheaper_than_factor(self):
+        """The paper: 'the triangular solvers are much less time consuming
+        than the Gaussian elimination process'."""
+        A = get_matrix("sherman5", "small")
+        om = prepare_matrix(A)
+        sym = static_symbolic_factorization(om.A)
+        part = build_partition(sym, max_size=25, amalgamation=4)
+        bstruct = build_block_structure(sym, part)
+        res = run_1d(om.A, part, bstruct, 4, T3E, method="rapid")
+        lu = LUFactorization(res.factor, sym, part, bstruct, res.sim.total_counter())
+        tri = run_1d_trisolve(lu, res.schedule.owner, np.ones(om.n), 4, T3E)
+        assert tri.parallel_seconds < res.parallel_seconds
+
+    def test_messages_counted(self, factored):
+        om, lu, res = factored
+        tri = run_1d_trisolve(lu, res.schedule.owner, np.ones(om.n), 4, T3E)
+        assert tri.sim.messages > 0
+
+
+class TestTriSolve2D:
+    """Distributed 2D triangular solves (grid mapping)."""
+
+    @pytest.mark.parametrize("grid", [(1, 2), (2, 2), (2, 4), (4, 2)])
+    def test_bitwise_equal_to_sequential(self, grid):
+        from repro.parallel import Grid2D, run_2d, run_2d_trisolve
+
+        A = random_nonsymmetric(80, density=0.08, seed=75)
+        om = prepare_matrix(A)
+        sym = static_symbolic_factorization(om.A)
+        part = build_partition(sym, max_size=6, amalgamation=3)
+        bstruct = build_block_structure(sym, part)
+        g = Grid2D(*grid)
+        res = run_2d(om.A, part, bstruct, g.nprocs, T3E, grid=g)
+        lu = LUFactorization(res.factor, sym, part, bstruct,
+                             res.sim.total_counter())
+        b = np.cos(np.arange(80.0))
+        tri = run_2d_trisolve(lu, b, g.nprocs, T3E, grid=g)
+        assert np.array_equal(tri.x, lu.solve(b))
+
+    def test_rhs_validated(self):
+        from repro.parallel import Grid2D, run_2d, run_2d_trisolve
+
+        A = random_nonsymmetric(40, density=0.1, seed=76)
+        om = prepare_matrix(A)
+        sym = static_symbolic_factorization(om.A)
+        part = build_partition(sym, max_size=5, amalgamation=2)
+        bstruct = build_block_structure(sym, part)
+        res = run_2d(om.A, part, bstruct, 4, T3E)
+        lu = LUFactorization(res.factor, sym, part, bstruct,
+                             res.sim.total_counter())
+        with pytest.raises(ValueError, match="rhs"):
+            run_2d_trisolve(lu, np.ones(3), 4, T3E)
+
+    def test_grid_mismatch(self):
+        from repro.parallel import Grid2D, run_2d, run_2d_trisolve
+
+        A = random_nonsymmetric(40, density=0.1, seed=77)
+        om = prepare_matrix(A)
+        sym = static_symbolic_factorization(om.A)
+        part = build_partition(sym, max_size=5, amalgamation=2)
+        bstruct = build_block_structure(sym, part)
+        res = run_2d(om.A, part, bstruct, 4, T3E)
+        lu = LUFactorization(res.factor, sym, part, bstruct,
+                             res.sim.total_counter())
+        with pytest.raises(ValueError, match="grid"):
+            run_2d_trisolve(lu, np.ones(40), 8, T3E, grid=Grid2D(2, 2))
