@@ -7,10 +7,8 @@ executes it earlier and wins.  We rebuild the demonstration on a small
 sample matrix and print both charts.
 """
 
-import numpy as np
-import pytest
 
-from conftest import print_table, save_results
+from conftest import save_results
 from repro.matrices import random_nonsymmetric
 from repro.ordering import prepare_matrix
 from repro.scheduling import demo_unit_weight_charts

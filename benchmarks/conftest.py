@@ -9,8 +9,6 @@ to ``benchmarks/results/*.json`` so ``tools/make_experiments.py`` can
 regenerate EXPERIMENTS.md from a full run.
 """
 
-from __future__ import annotations
-
 import json
 import os
 from pathlib import Path
@@ -18,25 +16,21 @@ from pathlib import Path
 import pytest
 
 from repro.api import ExperimentContext
+from repro.api.fixtures import MemoCache
 
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+def _build_context(name: str, amalgamation: int = 4) -> ExperimentContext:
+    return ExperimentContext(name, scale=SCALE, amalgamation=amalgamation)
+
+
 @pytest.fixture(scope="session")
 def ctx_cache():
-    """Session cache of ExperimentContexts keyed by (name, amalgamation)."""
-    cache = {}
-
-    def get(name: str, amalgamation: int = 4) -> ExperimentContext:
-        key = (name, amalgamation)
-        if key not in cache:
-            cache[key] = ExperimentContext(
-                name, scale=SCALE, amalgamation=amalgamation
-            )
-        return cache[key]
-
-    return get
+    """Session cache of ExperimentContexts keyed by (name, amalgamation);
+    memoisation shared with tests/conftest via repro.api.fixtures."""
+    return MemoCache(_build_context).get
 
 
 def save_results(table: str, rows) -> None:

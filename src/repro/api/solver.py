@@ -18,7 +18,7 @@ undone transparently, so ``solve`` works in the caller's coordinates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -14,7 +14,7 @@ Table 1) and a flop count (the denominator of the paper's MFLOPS formula).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -9,6 +9,7 @@ Commands
 ``solve``      factor and solve ``A x = b`` (random or file rhs)
 ``simulate``   run a parallel factorization on the simulated T3D/T3E
 ``validate``   run the full invariant battery on a matrix
+``verify-comm`` static + dynamic + replay communication-protocol analyses
 ``suite``      list the built-in suite matrices
 """
 
@@ -94,7 +95,7 @@ def cmd_solve(args) -> int:
     solver = SStarSolver(pivot_threshold=args.threshold).factor(A)
     if args.refine:
         x, history = iterative_refinement(A, solver.solve, b)
-        print(f"refinement backward errors: "
+        print("refinement backward errors: "
               + " -> ".join(f"{h:.2e}" for h in history))
     else:
         x = solver.solve(b)
@@ -131,6 +132,143 @@ def cmd_validate(args) -> int:
                               check_parallel=not args.skip_parallel)
     print(format_report(results))
     return 0 if all(r.passed for r in results) else 1
+
+
+def cmd_verify_comm(args) -> int:
+    from .machine import T3D, T3E, GENERIC
+    from .verify import (
+        check_run,
+        lint_file,
+        lint_parallel_modules,
+        replay_check,
+    )
+
+    spec = {"T3D": T3D, "T3E": T3E, "GENERIC": GENERIC}[args.machine]
+    failures = 0
+
+    # -- 1. static comm-lint ----------------------------------------------
+    print("== static comm-lint ==")
+    if args.module:
+        try:
+            lint_results = {m: lint_file(m) for m in args.module}
+        except OSError as e:
+            print(f"cannot read module: {e}", file=sys.stderr)
+            return 2
+    else:
+        lint_results = lint_parallel_modules()
+    for path, findings in sorted(lint_results.items()):
+        name = path.rsplit("/", 1)[-1]
+        if findings:
+            failures += len(findings)
+            print(f"{name}: {len(findings)} finding(s)")
+            for f in findings:
+                print(f"  {f}")
+        else:
+            print(f"{name}: OK")
+
+    if args.static_only:
+        print(f"\n{'PASS' if failures == 0 else 'FAIL'}: {failures} violation(s)")
+        return 0 if failures == 0 else 1
+
+    # -- 2+3. dynamic trace check and determinism replay -------------------
+    from .matrices import random_nonsymmetric
+    from .numfact import LUFactorization
+    from .ordering import prepare_matrix
+    from .parallel import run_1d, run_2d, run_1d_trisolve, run_2d_trisolve
+    from .sparse import read_matrix_market
+    from .supernodes import build_block_structure, build_partition
+    from .symbolic import static_symbolic_factorization
+    from .taskgraph import build_task_graph
+
+    if args.matrix:
+        A = read_matrix_market(args.matrix)
+    else:
+        if args.n < 10:
+            print("--n must be at least 10 (need a nontrivial block "
+                  "structure to exercise the protocols)", file=sys.stderr)
+            return 2
+        A = random_nonsymmetric(args.n, density=0.06, seed=args.seed)
+    om = prepare_matrix(A)
+    sym = static_symbolic_factorization(om.A)
+    part = build_partition(sym, max_size=args.block_size, amalgamation=4)
+    bstruct = build_block_structure(sym, part)
+    tg = build_task_graph(bstruct)
+    P = args.nprocs
+    b = np.arange(float(om.A.nrows))
+
+    lu_box = {}
+
+    def runner_1d(method):
+        def run(sim_opts):
+            res = run_1d(om.A, part, bstruct, P, spec, method=method, tg=tg,
+                         sim_opts=sim_opts)
+            lu_box.setdefault(method, (res.factor, res.schedule))
+            return res
+        return run
+
+    def runner_2d(sync):
+        return lambda sim_opts: run_2d(om.A, part, bstruct, P, spec,
+                                       synchronous=sync, sim_opts=sim_opts)
+
+    def runner_tri1d(sim_opts):
+        factor, schedule = lu_box["rapid"]
+        lu = LUFactorization(factor, sym, part, bstruct, None)
+        return run_1d_trisolve(lu, schedule.owner, b, P, spec, sim_opts=sim_opts)
+
+    def runner_tri2d(sim_opts):
+        factor, _ = lu_box["rapid"]
+        lu = LUFactorization(factor, sym, part, bstruct, None)
+        return run_2d_trisolve(lu, b, P, spec, sim_opts=sim_opts)
+
+    targets = [
+        ("1d-rapid", runner_1d("rapid"), True),
+        ("1d-ca", runner_1d("ca"), True),
+        ("2d", runner_2d(False), False),
+        ("2d-sync", runner_2d(True), False),
+        ("trisolve-1d", runner_tri1d, False),
+        ("trisolve-2d", runner_tri2d, False),
+    ]
+    if args.codes:
+        wanted = set(args.codes.split(","))
+        unknown = wanted - {t[0] for t in targets}
+        if unknown:
+            print(f"unknown codes: {sorted(unknown)}", file=sys.stderr)
+            return 2
+        targets = [t for t in targets if t[0] in wanted]
+    if any(t[0].startswith("trisolve") for t in targets) and not any(
+        t[0] == "1d-rapid" for t in targets
+    ):
+        # the trisolve runners reuse the rapid factorization
+        runner_1d("rapid")({"trace": False})
+
+    print(f"\n== dynamic trace check (P={P}, {args.machine}, "
+          f"n={om.A.nrows}) ==")
+    runs = {}
+    for name, runner, with_dag in targets:
+        res = runner({"trace": True})
+        runs[name] = runner
+        sim = res.sim if hasattr(res, "sim") else res
+        if with_dag:
+            report = check_run(sim, spec=spec, tg=tg,
+                               schedule=res.schedule)
+        else:
+            report = check_run(sim, spec=spec)
+        print(f"{name:12s}: {report.summary()}")
+        for v in report.violations:
+            print(f"  {v}")
+        failures += len(report.violations)
+
+    if not args.skip_replay:
+        print(f"\n== determinism replay ({args.replays} host orders) ==")
+        for name, runner, _ in targets:
+            rep = replay_check(runner, P, n_orders=args.replays)
+            print(f"{name:12s}: {rep.summary()}")
+            for m in rep.mismatches:
+                print(f"  {m}")
+            failures += len(rep.mismatches)
+
+    print(f"\n{'PASS' if failures == 0 else 'FAIL'}: {failures} violation(s)")
+    return 0 if failures == 0 else 1
 
 
 def cmd_suite(args) -> int:
@@ -193,6 +331,32 @@ def build_parser() -> argparse.ArgumentParser:
     v.add_argument("--nprocs", type=int, default=4)
     v.add_argument("--skip-parallel", action="store_true")
     v.set_defaults(func=cmd_validate)
+
+    vc = sub.add_parser(
+        "verify-comm",
+        help="communication-protocol analyses: static lint, trace check, replay",
+    )
+    vc.add_argument("--matrix", help="MatrixMarket file (default: random test matrix)")
+    vc.add_argument("--n", type=int, default=90,
+                    help="order of the random test matrix")
+    vc.add_argument("--seed", type=int, default=31)
+    vc.add_argument("--block-size", type=int, default=6)
+    vc.add_argument("--nprocs", type=int, default=4)
+    vc.add_argument("--machine", default="T3E", choices=["T3D", "T3E", "GENERIC"])
+    vc.add_argument("--codes",
+                    help="comma list of SPMD codes to check dynamically "
+                         "(1d-rapid,1d-ca,2d,2d-sync,trisolve-1d,trisolve-2d)")
+    vc.add_argument("--all-parallel-modules", action="store_true",
+                    help="lint every repro.parallel module (the default; kept "
+                         "as an explicit flag for CI invocations)")
+    vc.add_argument("--module", action="append",
+                    help="lint this source file instead of repro.parallel")
+    vc.add_argument("--static-only", action="store_true",
+                    help="run only the AST lint, skip simulations")
+    vc.add_argument("--skip-replay", action="store_true")
+    vc.add_argument("--replays", type=int, default=3,
+                    help="number of perturbed host orders per code")
+    vc.set_defaults(func=cmd_verify_comm)
 
     ls = sub.add_parser("suite", help="list built-in suite matrices")
     ls.set_defaults(func=cmd_suite)

@@ -14,6 +14,8 @@ from .simulator import (
     Simulator,
     Env,
     SimResult,
+    SimTrace,
+    MessageRecord,
     DeadlockError,
     TaskSpan,
 )
@@ -26,6 +28,8 @@ __all__ = [
     "Simulator",
     "Env",
     "SimResult",
+    "SimTrace",
+    "MessageRecord",
     "DeadlockError",
     "TaskSpan",
 ]

@@ -36,7 +36,22 @@ from .specs import MachineSpec
 
 
 class DeadlockError(RuntimeError):
-    """All ranks are blocked and no message can satisfy any of them."""
+    """All ranks are blocked and no message can satisfy any of them.
+
+    Structured attributes (for tooling, e.g. :mod:`repro.verify`):
+
+    * ``blocked`` — list of ``(rank, what)`` where ``what`` is the tag the
+      rank's ``recv`` is waiting on, or the string ``"barrier"``;
+    * ``pending`` — ``{rank: [(tag, arrival, src), ...]}`` of messages
+      sitting undelivered in each blocked rank's mailbox (the tags the
+      rank *could* have received instead — usually the smoking gun of a
+      tag mismatch).
+    """
+
+    def __init__(self, message, blocked=None, pending=None):
+        super().__init__(message)
+        self.blocked = blocked or []
+        self.pending = pending or {}
 
 
 @dataclass
@@ -47,6 +62,40 @@ class TaskSpan:
     label: str
     start: float
     end: float
+
+
+@dataclass
+class MessageRecord:
+    """One message in a :class:`SimTrace` (send-ordered)."""
+
+    seq: int
+    src: int
+    dest: int
+    tag: object
+    send_clock: float  # sender clock when the send was issued
+    arrival: float  # when the payload lands in the destination mailbox
+    nbytes: int
+    recv_time: float = None  # receiver clock at consumption (None = never)
+    consumed: bool = False
+
+
+@dataclass
+class SimTrace:
+    """Message-level trace of one simulated run (``Simulator(trace=True)``)."""
+
+    records: list = field(default_factory=list)
+
+    def undelivered(self) -> list:
+        """Messages deposited but never received (mailbox leaks)."""
+        return [r for r in self.records if not r.consumed]
+
+    def by_src(self) -> dict:
+        """Records grouped per sender, preserving each sender's send order
+        (the host-scheduling-independent view used by the replay checker)."""
+        out = {}
+        for r in self.records:
+            out.setdefault(r.src, []).append(r)
+        return out
 
 
 class _RecvRequest:
@@ -143,15 +192,22 @@ class Env:
         """One-sided put to ``dest``; sender pays the overhead."""
         if dest == self.rank:
             # local deposit: no network cost
-            self._sim._deposit(dest, tag, self.clock, self.rank, _copy_payload(payload))
+            self._sim._deposit(
+                dest, tag, self.clock, self.rank, _copy_payload(payload),
+                nbytes=0, send_clock=self.clock,
+            )
             return
         nbytes = _payload_nbytes(payload) if nbytes is None else nbytes
         spec = self._sim.spec
+        t_send = self.clock
         self.clock += spec.latency_s
         arrival = self.clock + nbytes / spec.bandwidth_bps
         self.sent_messages += 1
         self.sent_bytes += nbytes
-        self._sim._deposit(dest, tag, arrival, self.rank, _copy_payload(payload))
+        self._sim._deposit(
+            dest, tag, arrival, self.rank, _copy_payload(payload),
+            nbytes=nbytes, send_clock=t_send,
+        )
 
     def multicast(self, dests, tag, payload, nbytes: int = None) -> None:
         """Sequential puts to each destination (shmem-style multicast)."""
@@ -188,6 +244,7 @@ class SimResult:
     messages: int
     bytes_sent: int
     returns: list  # per-rank program return values
+    trace: SimTrace = None  # message trace (only when Simulator(trace=True))
 
     @property
     def nprocs(self) -> int:
@@ -210,33 +267,101 @@ class SimResult:
 class Simulator:
     """Run ``nprocs`` SPMD generator programs under a machine spec."""
 
-    def __init__(self, nprocs: int, spec: MachineSpec, program, args=()):
+    def __init__(
+        self,
+        nprocs: int,
+        spec: MachineSpec,
+        program,
+        args=(),
+        trace: bool = False,
+        host_order=None,
+    ):
         """``program(env, *args)`` must return a generator (it may also be a
-        plain function for compute-only ranks)."""
+        plain function for compute-only ranks).
+
+        ``trace=True`` records a :class:`SimTrace` of every message (attached
+        to the result as ``SimResult.trace``) for the :mod:`repro.verify`
+        checkers.  ``host_order`` is a permutation of ``range(nprocs)`` that
+        perturbs the *host* scheduling order (which runnable rank the event
+        loop advances first); simulated semantics must not depend on it —
+        the replay checker asserts exactly that.
+        """
         self.nprocs = nprocs
         self.spec = spec
         self._mailboxes = {}  # (dest, tag) -> heap of (arrival, seq, payload)
         self._seq = 0
+        self.trace = SimTrace() if trace else None
+        if host_order is None:
+            self._order = list(range(nprocs))
+        else:
+            self._order = [int(r) for r in host_order]
+            if sorted(self._order) != list(range(nprocs)):
+                raise ValueError("host_order must be a permutation of ranks")
         self.envs = [Env(self, r) for r in range(nprocs)]
         self._programs = [program(self.envs[r], *args) for r in range(nprocs)]
 
     # -- mailbox -----------------------------------------------------------
 
-    def _deposit(self, dest, tag, arrival, src, payload):
+    def _deposit(self, dest, tag, arrival, src, payload, nbytes=0, send_clock=0.0):
         self._seq += 1
+        record = None
+        if self.trace is not None:
+            record = MessageRecord(
+                seq=self._seq, src=src, dest=dest, tag=tag,
+                send_clock=send_clock, arrival=arrival, nbytes=nbytes,
+            )
+            self.trace.records.append(record)
         heapq.heappush(
             self._mailboxes.setdefault((dest, tag), []),
-            (arrival, self._seq, payload),
+            (arrival, self._seq, payload, src, record),
         )
 
     def _try_fetch(self, dest, tag):
         box = self._mailboxes.get((dest, tag))
         if box:
-            arrival, _, payload = heapq.heappop(box)
+            arrival, _, payload, _, record = heapq.heappop(box)
             if not box:
                 del self._mailboxes[(dest, tag)]
-            return arrival, payload
+            return arrival, payload, record
         return None
+
+    def _pending_by_rank(self) -> dict:
+        """Undelivered mailbox contents, grouped per destination rank."""
+        pending = {}
+        for (dest, tag), box in self._mailboxes.items():
+            for arrival, _, _, src, _ in sorted(box, key=lambda e: e[:2]):
+                pending.setdefault(dest, []).append((tag, arrival, src))
+        return pending
+
+    def _deadlock_error(self, blocked, state, waiting_tag, RECV) -> DeadlockError:
+        """Build a DeadlockError naming, per blocked rank, the tag it waits
+        on and the undelivered messages parked in its mailbox."""
+        pending = self._pending_by_rank()
+        blocked_info = []
+        lines = []
+        for r in blocked:
+            what = waiting_tag[r] if state[r] == RECV else "barrier"
+            blocked_info.append((r, what))
+            if state[r] == RECV:
+                desc = f"rank {r} waiting on tag {waiting_tag[r]!r}"
+            else:
+                desc = f"rank {r} waiting on barrier"
+            inbox = pending.get(r, [])
+            if inbox:
+                shown = ", ".join(
+                    f"{tag!r} (from rank {src}, arrival {arrival:.3g})"
+                    for tag, arrival, src in inbox[:4]
+                )
+                more = f", +{len(inbox) - 4} more" if len(inbox) > 4 else ""
+                desc += f"; undelivered in its mailbox: {shown}{more}"
+            else:
+                desc += "; its mailbox is empty"
+            lines.append(desc)
+        return DeadlockError(
+            "simulation deadlock:\n  " + "\n  ".join(lines),
+            blocked=blocked_info,
+            pending=pending,
+        )
 
     # -- main loop ---------------------------------------------------------
 
@@ -269,19 +394,22 @@ class Simulator:
                     f"rank {r} yielded {req!r}; yield env.recv(...) or env.barrier()"
                 )
 
-        for r in range(self.nprocs):
+        for r in self._order:
             resume(r)
 
         while True:
             progressed = False
             # satisfy receivers
-            for r in range(self.nprocs):
+            for r in self._order:
                 if state[r] == RECV:
                     got = self._try_fetch(r, waiting_tag[r])
                     if got is not None:
-                        arrival, payload = got
+                        arrival, payload, record = got
                         env = self.envs[r]
                         env.clock = max(env.clock, arrival)
+                        if record is not None:
+                            record.consumed = True
+                            record.recv_time = env.clock
                         state[r] = READY
                         waiting_tag[r] = None
                         resume(r, payload)
@@ -289,7 +417,7 @@ class Simulator:
             if progressed:
                 continue
             # barrier: everyone not DONE must be at the barrier
-            at_barrier = [r for r in range(self.nprocs) if state[r] == BARRIER]
+            at_barrier = [r for r in self._order if state[r] == BARRIER]
             live = [r for r in range(self.nprocs) if state[r] != DONE]
             if at_barrier and len(at_barrier) == len(live):
                 t = max(self.envs[r].clock for r in at_barrier)
@@ -304,12 +432,7 @@ class Simulator:
                 break
             blocked = [r for r in live if state[r] in (RECV, BARRIER)]
             if len(blocked) == len(live):
-                detail = ", ".join(
-                    f"rank {r} waiting on "
-                    + (f"tag {waiting_tag[r]!r}" if state[r] == RECV else "barrier")
-                    for r in blocked
-                )
-                raise DeadlockError(f"simulation deadlock: {detail}")
+                raise self._deadlock_error(blocked, state, waiting_tag, RECV)
             # should not happen: READY ranks are resumed inside resume()
             raise AssertionError("scheduler invariant violated")
 
@@ -317,6 +440,7 @@ class Simulator:
         for env in self.envs:
             spans.extend(env.spans)
         return SimResult(
+            trace=self.trace,
             total_time=max(env.clock for env in self.envs) if self.envs else 0.0,
             rank_clocks=[env.clock for env in self.envs],
             rank_busy=[env.busy for env in self.envs],

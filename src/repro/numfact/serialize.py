@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..supernodes import BlockPartition, BlockStructure, build_block_structure
+from ..supernodes import BlockPartition, build_block_structure
 from ..symbolic import SymbolicFactorization
 from .blocks import BlockLUMatrix
 from .counter import KernelCounter

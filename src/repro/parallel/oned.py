@@ -18,8 +18,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from ..machine import Simulator, MachineSpec
 from ..numfact import (
     BlockLUMatrix,
@@ -83,6 +81,7 @@ def _rank_program(env, ctx):
     m: BlockLUMatrix = ctx["locals"][env.rank]
     broadcast = ctx["broadcast"]
     received = {}
+    seen = set()  # every column ever received (incl. later-freed buffers)
     buffer_bytes = 0
     high_water = 0
 
@@ -123,6 +122,7 @@ def _rank_program(env, ctx):
                     lblocks=payload["lblocks"],
                 )
                 received[k] = fc
+                seen.add(k)
                 buffer_bytes += fc.nbytes()
                 high_water = max(high_water, buffer_bytes)
             snap = env.snapshot()
@@ -139,6 +139,13 @@ def _rank_program(env, ctx):
                 )
                 if not later and k in received:
                     buffer_bytes -= received.pop(k).nbytes()
+    if broadcast:
+        # CA broadcasts *every* factored column to every processor; drain
+        # the ones this rank never consumed (the Cbuffer free of the real
+        # code) so no message is left undelivered at exit
+        for k in range(len(schedule.owner)):
+            if int(schedule.owner[k]) != env.rank and k not in seen:
+                yield env.recv(("col", k))
     return {"pivot_seq": m.pivot_seq, "high_water": high_water}
 
 
@@ -151,11 +158,14 @@ def run_1d(
     method: str = "rapid",
     tg: TaskGraph = None,
     pivot_threshold: float = 1.0,
+    sim_opts: dict = None,
 ) -> OneDResult:
     """Run the 1D parallel factorization of an ordered matrix ``A``.
 
     ``method`` is ``"rapid"`` (graph scheduling + consumer multicast) or
-    ``"ca"`` (cyclic mapping, Fig. 10 order, broadcast).
+    ``"ca"`` (cyclic mapping, Fig. 10 order, broadcast).  ``sim_opts`` are
+    forwarded to :class:`repro.machine.Simulator` (e.g. ``trace=True`` or
+    ``host_order=...`` for the :mod:`repro.verify` checkers).
     """
     if tg is None:
         tg = build_task_graph(bstruct)
@@ -176,7 +186,7 @@ def run_1d(
         "broadcast": broadcast,
         "pivot_threshold": pivot_threshold,
     }
-    sim = Simulator(nprocs, spec, _rank_program, args=(ctx,)).run()
+    sim = Simulator(nprocs, spec, _rank_program, args=(ctx,), **(sim_opts or {})).run()
 
     # merge the distributed factor back into one BlockLUMatrix for solving
     merged = BlockLUMatrix(part, bstruct)

@@ -128,7 +128,8 @@ def _solve_program(env, ctx):
 
 
 def run_1d_trisolve(
-    lu: LUFactorization, owner, b: np.ndarray, nprocs: int, spec: MachineSpec
+    lu: LUFactorization, owner, b: np.ndarray, nprocs: int, spec: MachineSpec,
+    sim_opts: dict = None,
 ) -> TriSolveResult:
     """Solve ``A x = b`` (permuted coordinates) with the distributed
     triangular solvers over the 1D mapping ``owner``.
@@ -141,7 +142,7 @@ def run_1d_trisolve(
     if b.shape != (lu.n,):
         raise ValueError(f"rhs must have shape ({lu.n},)")
     ctx = {"lu": lu, "owner": owner, "b": b}
-    sim = Simulator(nprocs, spec, _solve_program, args=(ctx,)).run()
+    sim = Simulator(nprocs, spec, _solve_program, args=(ctx,), **(sim_opts or {})).run()
     x = np.empty(lu.n)
     bounds = lu.part.bounds
     for ret in sim.returns:

@@ -153,7 +153,7 @@ def _program(env, ctx):
 
 def run_2d_trisolve(
     lu: LUFactorization, b: np.ndarray, nprocs: int, spec: MachineSpec,
-    grid: Grid2D = None,
+    grid: Grid2D = None, sim_opts: dict = None,
 ) -> TriSolve2DResult:
     """Solve ``A x = b`` (permuted coordinates) on the 2D grid."""
     if grid is None:
@@ -164,7 +164,7 @@ def run_2d_trisolve(
     if b.shape != (lu.n,):
         raise ValueError(f"rhs must have shape ({lu.n},)")
     ctx = {"lu": lu, "grid": grid, "b": b}
-    sim = Simulator(nprocs, spec, _program, args=(ctx,)).run()
+    sim = Simulator(nprocs, spec, _program, args=(ctx,), **(sim_opts or {})).run()
     x = np.empty(lu.n)
     bounds = lu.part.bounds
     for ret in sim.returns:

@@ -336,7 +336,11 @@ def _rank_program_2d(env, ctx):
             for j in my_cols:
                 if j > k + 1:
                     update(k, j)
-        # free structures referenced by caches before returning
+        # ScaleSwap(N-1) never runs in the pipelined loop, but Factor(N-1)
+        # still multicast its L panel along the processor rows; drain it so
+        # no message is left undelivered at exit (the Cbuffer free)
+        if N >= 1 and c != (N - 1) % pc:
+            lcol_cache[N - 1] = yield env.recv(("lcol", N - 1))
     return {
         "pivot_seq": pivseqs,
         "update_spans": update_spans,
@@ -352,8 +356,13 @@ def run_2d(
     synchronous: bool = False,
     grid: Grid2D = None,
     pivot_threshold: float = 1.0,
+    sim_opts: dict = None,
 ) -> TwoDResult:
-    """Run the 2D parallel factorization of an ordered matrix ``A``."""
+    """Run the 2D parallel factorization of an ordered matrix ``A``.
+
+    ``sim_opts`` are forwarded to :class:`repro.machine.Simulator` (e.g.
+    ``trace=True`` / ``host_order=...`` for :mod:`repro.verify`).
+    """
     if grid is None:
         grid = Grid2D.preferred(nprocs)
     if grid.nprocs != nprocs:
@@ -367,7 +376,9 @@ def run_2d(
         "synchronous": synchronous,
         "pivot_threshold": pivot_threshold,
     }
-    sim = Simulator(grid.nprocs, spec, _rank_program_2d, args=(ctx,)).run()
+    sim = Simulator(
+        grid.nprocs, spec, _rank_program_2d, args=(ctx,), **(sim_opts or {})
+    ).run()
 
     merged = BlockLUMatrix(part, bstruct)
     for d in locals_:

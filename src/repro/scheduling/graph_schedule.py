@@ -36,8 +36,6 @@ class Schedule:
     makespan_estimate: float
 
     def task_owner(self, task) -> int:
-        from ..taskgraph import UPDATE
-
         col = task[1] if task[0] == FACTOR else task[2]
         return int(self.owner[col])
 

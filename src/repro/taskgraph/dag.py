@@ -22,9 +22,8 @@ sequence) that ``Update(k, j)`` needs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-import numpy as np
 
 from ..supernodes import BlockStructure
 

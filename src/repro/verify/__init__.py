@@ -1,0 +1,59 @@
+"""Communication-protocol verification for the SPMD simulator programs.
+
+The simulator's contract (see :mod:`repro.machine.simulator`) is easy to
+state and easy to violate silently: tags must uniquely identify a logical
+transfer, every ``recv``/``barrier`` must be ``yield``-ed, and every
+deposited message must eventually be consumed.  This package machine-checks
+that discipline with three cooperating analyses:
+
+* :mod:`commlint` — **static** AST lint of the SPMD sources: un-yielded
+  ``recv``/``barrier`` calls, tag tuples missing loop discriminators
+  (collision risk), and send/recv tag-shape mismatches across a module;
+* :mod:`tracecheck` — **dynamic** checks over a recorded message trace
+  (``Simulator(trace=True)``): per-``(dest, tag)`` uniqueness, no leaked
+  (never-received) messages, causal delivery, and — for the 1D codes —
+  that the executed span order is a linearization of the
+  :class:`repro.taskgraph.TaskGraph` dependence edges;
+* :mod:`replay` — **determinism** check: re-run a simulation under
+  perturbed host scheduling orders and require bit-identical numerics,
+  clocks, spans and traces.
+
+``python -m repro verify-comm`` wires all three together;
+:mod:`pytest_support` patches trace checking into existing simulator tests.
+"""
+
+from .commlint import (
+    LintFinding,
+    lint_source,
+    lint_file,
+    lint_parallel_modules,
+    parallel_module_paths,
+)
+from .tracecheck import (
+    Violation,
+    TraceCheckReport,
+    ProtocolViolationError,
+    check_messages,
+    check_spans_against_dag,
+    check_run,
+    parse_span_label,
+)
+from .replay import ReplayReport, host_orders, replay_check
+
+__all__ = [
+    "LintFinding",
+    "lint_source",
+    "lint_file",
+    "lint_parallel_modules",
+    "parallel_module_paths",
+    "Violation",
+    "TraceCheckReport",
+    "ProtocolViolationError",
+    "check_messages",
+    "check_spans_against_dag",
+    "check_run",
+    "parse_span_label",
+    "ReplayReport",
+    "host_orders",
+    "replay_check",
+]

@@ -1,0 +1,317 @@
+"""Static AST lint for SPMD communication protocol discipline.
+
+Operates on the *source* of SPMD program modules (the codes under
+:mod:`repro.parallel`) and flags the bug classes that the simulator cannot
+diagnose at runtime — or diagnoses only as an opaque deadlock:
+
+* **Y01** — a ``recv``/``barrier`` call that is not the direct operand of a
+  ``yield``.  ``env.recv(tag)`` merely *builds* a request object; without
+  ``yield`` it is a silent no-op and the matching message leaks.
+* **T01** — a tag kind whose send-side and recv-side tuple arities differ
+  (the two sides can never match, guaranteeing a deadlock or a leak).
+* **T02** — a tag kind that is only ever sent, or only ever received,
+  within the module (an unconsumed multicast or an unsatisfiable wait).
+* **T03** — a comm call lexically inside a ``for`` loop whose tag does not
+  vary with that loop (no name derived from the loop target appears in the
+  tag expression): successive iterations would reuse one ``(dest, tag)``
+  pair, violating the tags-identify-a-logical-transfer discipline.
+
+The lint is deliberately conservative about receivers: only attribute calls
+on the conventional SPMD handle names (``env`` by default) are considered
+communication sites.  A finding can be suppressed by putting the marker
+``commlint: ok`` in a comment on the offending line.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+
+#: methods of the Env handle that constitute communication sites
+SEND_OPS = ("send", "multicast")
+YIELD_OPS = ("recv", "barrier")
+
+
+@dataclass
+class LintFinding:
+    """One protocol-discipline violation found in source."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass
+class _CommSite:
+    """A send/multicast/recv call site with its extracted tag info."""
+
+    op: str
+    line: int
+    col: int
+    tag_kind: object  # leading literal of the tag tuple (or scalar tag)
+    tag_arity: int  # number of elements after the kind; -1 = not literal
+
+
+class _LoopCtx:
+    """One enclosing ``for`` loop: its line and the set of names whose
+    values derive from the loop target (the taint set)."""
+
+    __slots__ = ("line", "desc", "tainted")
+
+    def __init__(self, line, desc, tainted):
+        self.line = line
+        self.desc = desc
+        self.tainted = tainted
+
+
+def _names_in(node) -> set:
+    return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
+
+
+def _target_names(target) -> set:
+    out = set()
+    for n in ast.walk(target):
+        if isinstance(n, ast.Name):
+            out.add(n.id)
+    return out
+
+
+def _tag_expr(call: ast.Call, op: str):
+    """The tag argument of a comm call (positional or ``tag=`` keyword)."""
+    idx = 0 if op == "recv" else 1
+    for kw in call.keywords:
+        if kw.arg == "tag":
+            return kw.value
+    if len(call.args) > idx:
+        return call.args[idx]
+    return None
+
+
+def _tag_shape(tag):
+    """(kind, arity) of a tag expression; kind None when undecidable."""
+    if isinstance(tag, ast.Constant):
+        return tag.value, 0
+    if isinstance(tag, ast.Tuple) and tag.elts:
+        head = tag.elts[0]
+        if isinstance(head, ast.Constant):
+            return head.value, len(tag.elts) - 1
+        return None, len(tag.elts) - 1
+    return None, -1
+
+
+class _Linter:
+    def __init__(self, source: str, path: str, env_names):
+        self.path = path
+        self.env_names = set(env_names)
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=path)
+        self.findings = []
+        self.sites = []
+        # calls appearing directly as the operand of a yield
+        self.yielded = set()
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Yield) and isinstance(node.value, ast.Call):
+                self.yielded.add(id(node.value))
+
+    # -- helpers -----------------------------------------------------------
+
+    def _suppressed(self, line: int) -> bool:
+        idx = line - 1
+        return 0 <= idx < len(self.lines) and (
+            "commlint: ok" in self.lines[idx] or "commlint: skip" in self.lines[idx]
+        )
+
+    def _emit(self, rule, node, message):
+        if not self._suppressed(node.lineno):
+            self.findings.append(
+                LintFinding(rule, self.path, node.lineno, node.col_offset, message)
+            )
+
+    def _comm_op(self, call: ast.Call):
+        f = call.func
+        if (
+            isinstance(f, ast.Attribute)
+            and isinstance(f.value, ast.Name)
+            and f.value.id in self.env_names
+            and f.attr in SEND_OPS + YIELD_OPS
+        ):
+            return f.attr
+        return None
+
+    # -- traversal ---------------------------------------------------------
+
+    def run(self):
+        self._walk_body(self.tree.body, loops=())
+        self._check_pairing()
+        return self.findings
+
+    def _walk_body(self, body, loops):
+        for stmt in body:
+            self._walk_stmt(stmt, loops)
+
+    def _walk_stmt(self, stmt, loops):
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # a nested SPMD (sub)program: its parameters are external
+            # discriminators, loop tracking restarts inside it
+            self._walk_body(stmt.body, loops=())
+            return
+        if isinstance(stmt, ast.For):
+            ctx = _LoopCtx(
+                stmt.lineno,
+                f"for loop at line {stmt.lineno}",
+                _target_names(stmt.target),
+            )
+            self._scan_exprs(stmt.iter, loops)
+            self._walk_body(stmt.body, loops + (ctx,))
+            self._walk_body(stmt.orelse, loops)
+            return
+        if isinstance(stmt, ast.While):
+            # no taint can be established for a while loop; comm calls in
+            # its body are checked against the loops *outside* it only
+            self._scan_exprs(stmt.test, loops)
+            self._walk_body(stmt.body, loops)
+            self._walk_body(stmt.orelse, loops)
+            return
+        if isinstance(stmt, (ast.If,)):
+            self._scan_exprs(stmt.test, loops)
+            self._walk_body(stmt.body, loops)
+            self._walk_body(stmt.orelse, loops)
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._scan_exprs(item.context_expr, loops)
+            self._walk_body(stmt.body, loops)
+            return
+        if isinstance(stmt, ast.Try):
+            self._walk_body(stmt.body, loops)
+            for h in stmt.handlers:
+                self._walk_body(h.body, loops)
+            self._walk_body(stmt.orelse, loops)
+            self._walk_body(stmt.finalbody, loops)
+            return
+        # propagate taint through straight-line assignments
+        if isinstance(stmt, ast.Assign):
+            self._propagate_taint(stmt.targets, stmt.value, loops)
+            self._scan_exprs(stmt.value, loops)
+            return
+        if isinstance(stmt, ast.AugAssign):
+            self._propagate_taint([stmt.target], stmt.value, loops)
+            self._scan_exprs(stmt.value, loops)
+            return
+        if isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._propagate_taint([stmt.target], stmt.value, loops)
+            self._scan_exprs(stmt.value, loops)
+            return
+        # generic statement: scan contained expressions for comm calls
+        self._scan_exprs(stmt, loops)
+
+    def _propagate_taint(self, targets, value, loops):
+        value_names = _names_in(value)
+        for ctx in loops:
+            if value_names & ctx.tainted:
+                for t in targets:
+                    ctx.tainted |= _target_names(t)
+
+    def _scan_exprs(self, node, loops):
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                op = self._comm_op(sub)
+                if op:
+                    self._check_site(sub, op, loops)
+
+    # -- per-site checks ---------------------------------------------------
+
+    def _check_site(self, call: ast.Call, op: str, loops):
+        if op in YIELD_OPS and id(call) not in self.yielded:
+            self._emit(
+                "Y01",
+                call,
+                f"`{op}` is not yielded — `env.{op}(...)` only builds a "
+                "request; without `yield` it is a silent no-op",
+            )
+        if op == "barrier":
+            return
+        tag = _tag_expr(call, op)
+        if tag is None:
+            return
+        kind, arity = _tag_shape(tag)
+        self.sites.append(_CommSite(op, call.lineno, call.col_offset, kind, arity))
+        tag_names = _names_in(tag)
+        for ctx in loops:
+            if not (tag_names & ctx.tainted):
+                self._emit(
+                    "T03",
+                    call,
+                    f"tag of `{op}` does not vary with the enclosing "
+                    f"{ctx.desc} (loop names: {sorted(ctx.tainted)}) — "
+                    "iterations reuse one (dest, tag) pair",
+                )
+
+    # -- module-level pairing ----------------------------------------------
+
+    def _check_pairing(self):
+        kinds = {}
+        for s in self.sites:
+            if s.tag_kind is None:
+                continue
+            kinds.setdefault(s.tag_kind, []).append(s)
+        for kind, sites in sorted(kinds.items(), key=lambda kv: repr(kv[0])):
+            sends = [s for s in sites if s.op in SEND_OPS]
+            recvs = [s for s in sites if s.op == "recv"]
+            first = sites[0]
+            node = ast.Constant(value=0)
+            node.lineno, node.col_offset = first.line, first.col
+            if sends and not recvs:
+                self._emit(
+                    "T02", node,
+                    f"tag kind {kind!r} is sent (line"
+                    f" {', '.join(str(s.line) for s in sends)}) but never "
+                    "received in this module — messages would leak",
+                )
+            elif recvs and not sends:
+                self._emit(
+                    "T02", node,
+                    f"tag kind {kind!r} is received (line"
+                    f" {', '.join(str(s.line) for s in recvs)}) but never "
+                    "sent in this module — the wait cannot be satisfied",
+                )
+            elif sends and recvs:
+                sa = {s.tag_arity for s in sends}
+                ra = {s.tag_arity for s in recvs}
+                if sa != ra:
+                    self._emit(
+                        "T01", node,
+                        f"tag kind {kind!r}: send-side arities {sorted(sa)} "
+                        f"!= recv-side arities {sorted(ra)} — the tag "
+                        "tuples can never match",
+                    )
+
+
+def lint_source(source: str, path: str = "<string>", env_names=("env",)) -> list:
+    """Lint SPMD program source text; returns a list of LintFindings."""
+    return _Linter(source, path, env_names).run()
+
+
+def lint_file(path, env_names=("env",)) -> list:
+    """Lint one SPMD module file."""
+    p = Path(path)
+    return lint_source(p.read_text(), str(p), env_names)
+
+
+def parallel_module_paths() -> list:
+    """All module files of :mod:`repro.parallel` (the SPMD codes)."""
+    import repro.parallel as pkg
+
+    root = Path(pkg.__file__).parent
+    return sorted(p for p in root.glob("*.py") if p.name != "__init__.py")
+
+
+def lint_parallel_modules(env_names=("env",)) -> dict:
+    """Lint every :mod:`repro.parallel` module; ``{path: [findings]}``."""
+    return {str(p): lint_file(p, env_names) for p in parallel_module_paths()}

@@ -1,0 +1,49 @@
+"""Plugin-style pytest support: trace-check every simulation for free.
+
+``trace_checked_simulations()`` patches :meth:`repro.machine.Simulator.run`
+so that *every* simulation inside the context records a message trace and
+is checked against the tag-uniqueness / no-leak / causality rules as soon
+as it finishes; a violation raises :class:`ProtocolViolationError` (an
+``AssertionError``, so pytest reports it as a plain test failure at the
+offending call site).
+
+The test suite activates it per module from ``tests/conftest.py``::
+
+    @pytest.fixture(scope="module", autouse=True)
+    def _comm_trace_check(request):
+        with trace_checked_simulations():
+            yield
+
+so existing simulator-driven tests (1D, 2D, trisolve) double as protocol
+regression tests without changing a line of them.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from ..machine.simulator import SimTrace, Simulator
+from .tracecheck import check_messages, ProtocolViolationError
+
+
+@contextmanager
+def trace_checked_simulations(check_leaks: bool = True):
+    """Patch ``Simulator.run`` to verify the message protocol of each run."""
+    orig_run = Simulator.run
+
+    def checked_run(self):
+        if self.trace is None:
+            self.trace = SimTrace()
+        result = orig_run(self)
+        violations = check_messages(self.trace, spec=self.spec)
+        if not check_leaks:
+            violations = [v for v in violations if v.rule != "LEAK"]
+        if violations:
+            raise ProtocolViolationError(violations)
+        return result
+
+    Simulator.run = checked_run
+    try:
+        yield
+    finally:
+        Simulator.run = orig_run

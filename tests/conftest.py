@@ -1,40 +1,45 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures and helpers for the test suite.
+
+The memoised pipeline cache and the suite list live in
+:mod:`repro.api.fixtures`, shared with ``benchmarks/conftest.py``.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
 
-from repro.matrices import random_nonsymmetric, get_matrix
+from repro.api.fixtures import MemoCache, prepare_pipeline, SMALL_SUITE  # noqa: F401
+from repro.matrices import random_nonsymmetric
 from repro.ordering import prepare_matrix
-from repro.sparse import csr_to_dense
-from repro.supernodes import build_partition, build_block_structure
-from repro.symbolic import static_symbolic_factorization
+from repro.verify.pytest_support import trace_checked_simulations
 
-#: small suite matrices that cover every generator family
-SMALL_SUITE = ["sherman5", "lnsp3937", "jpwh991", "orsreg1", "goodwin", "vavasis3"]
+#: simulator-driven test modules whose runs are protocol-checked for free
+TRACE_CHECKED_MODULES = {
+    "tests.test_parallel_1d",
+    "tests.test_parallel_2d",
+    "tests.test_trisolve",
+    "test_parallel_1d",
+    "test_parallel_2d",
+    "test_trisolve",
+}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _comm_trace_check(request):
+    """Trace-check every simulation in the parallel-code test modules: tag
+    collisions, leaked messages and causality violations fail the test."""
+    if getattr(request.module, "__name__", "") not in TRACE_CHECKED_MODULES:
+        yield
+        return
+    with trace_checked_simulations():
+        yield
 
 
 @pytest.fixture(scope="session")
 def contexts():
     """Cache of fully prepared pipelines keyed by (name, block, amalg)."""
-    cache = {}
-
-    def get(name, block_size=25, amalgamation=4, scale="small"):
-        key = (name, block_size, amalgamation, scale)
-        if key not in cache:
-            A = get_matrix(name, scale)
-            om = prepare_matrix(A)
-            sym = static_symbolic_factorization(om.A)
-            part = build_partition(sym, max_size=block_size, amalgamation=amalgamation)
-            bstruct = build_block_structure(sym, part)
-            cache[key] = dict(
-                A=A, om=om, sym=sym, part=part, bstruct=bstruct,
-                dense=csr_to_dense(om.A),
-            )
-        return cache[key]
-
-    return get
+    return MemoCache(prepare_pipeline).get
 
 
 @pytest.fixture

@@ -107,3 +107,29 @@ class TestValidate:
         )
         assert main(["validate", str(p)]) == 1
         assert "FAIL" in capsys.readouterr().out
+
+
+class TestVerifyComm:
+    def test_static_only_all_modules(self, capsys):
+        assert main(["verify-comm", "--all-parallel-modules", "--static-only"]) == 0
+        out = capsys.readouterr().out
+        assert "static comm-lint" in out
+        assert "PASS" in out
+
+    def test_full_small_run(self, capsys):
+        assert main(
+            [
+                "verify-comm",
+                "--n", "60",
+                "--block-size", "6",
+                "--codes", "1d-rapid",
+                "--replays", "2",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "dynamic trace check" in out
+        assert "determinism replay" in out
+        assert "PASS: 0 violation(s)" in out
+
+    def test_unknown_code_rejected(self, capsys):
+        assert main(["verify-comm", "--codes", "nosuch", "--n", "40"]) == 2

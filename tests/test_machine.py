@@ -6,7 +6,6 @@ import pytest
 from repro.machine import (
     DeadlockError,
     GENERIC,
-    MachineSpec,
     Simulator,
     T3D,
     T3E,
@@ -171,7 +170,7 @@ class TestDeterminism:
                 for i in range(5):
                     env.compute("dgemm", float(rng.integers(1, 1000)))
                     env.send((env.rank + 1) % 3, ("ring", i, env.rank), env.clock)
-                    v = yield env.recv(("ring", i, (env.rank - 1) % 3))
+                    yield env.recv(("ring", i, (env.rank - 1) % 3))
                 return env.clock
 
             return prog

@@ -5,7 +5,7 @@ import dataclasses
 import pytest
 
 from repro.machine import GENERIC, MachineSpec, T3D, T3E
-from repro.machine.specs import GRAN_HALF, REF_GRAN
+from repro.machine.specs import REF_GRAN
 
 
 class TestEfficiencyCurve:

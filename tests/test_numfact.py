@@ -191,7 +191,7 @@ class TestFactorBlockColumn:
         bstruct = build_block_structure(sym, part)
         m = BlockLUMatrix.from_csr(A, part, bstruct)
         with pytest.raises(SingularMatrixError):
-            fc = factor_block_column(m, 0)
+            factor_block_column(m, 0)
 
 
 class TestSequentialFactor:

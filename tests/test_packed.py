@@ -4,11 +4,11 @@ import numpy as np
 import pytest
 
 from repro import SStarSolver
-from repro.matrices import get_matrix, random_nonsymmetric, suite_names
+from repro.matrices import get_matrix, random_nonsymmetric
 from repro.numfact import packed_factor, sstar_factor
 from repro.numfact.blocks import StructureViolation
 from repro.ordering import prepare_matrix
-from repro.sparse import csr_matvec, csr_to_dense
+from repro.sparse import csr_to_dense
 
 
 def _pair(n=80, seed=0, **kw):

@@ -1,7 +1,6 @@
 """Hypothesis property tests over the end-to-end pipeline."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import SStarSolver

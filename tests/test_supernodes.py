@@ -1,7 +1,6 @@
 """Supernode detection, 2D partition, amalgamation, Theorem 1 metadata."""
 
 import numpy as np
-import pytest
 
 from repro.matrices import dense_matrix, random_nonsymmetric
 from repro.supernodes import (

@@ -1,6 +1,5 @@
 """Task DAG construction: rules, weights, b-levels."""
 
-import numpy as np
 import pytest
 
 from repro.machine import T3E

@@ -2,7 +2,6 @@
 
 import json
 
-import pytest
 
 from repro.machine import T3E
 from repro.matrices import dense_matrix, random_nonsymmetric
