@@ -22,8 +22,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..machine import T3D, T3E, GENERIC, MachineSpec
-from ..numfact import LUFactorization, sstar_factor
+from ..machine import T3D, T3E, GENERIC, MachineSpec, FaultPlan
+from ..numfact import (
+    LUFactorization,
+    NumericalError,
+    PivotMonitor,
+    matrix_maxnorm,
+    sstar_factor,
+)
 from ..ordering import prepare_matrix
 from ..sparse import CSRMatrix, dense_to_csr
 from ..supernodes import build_partition, build_block_structure
@@ -46,6 +52,9 @@ class FactorizationReport:
     nprocs: int = 1
     messages: int = 0
     bytes_sent: int = 0
+    growth_factor: float = None  # max |pivot| / max |A_ij| (monitored runs)
+    perturbed_pivots: int = 0  # tiny pivots statically perturbed
+    restarts: int = 0  # crashed-and-discarded checkpoint rounds
 
 
 class SStarSolver:
@@ -70,6 +79,24 @@ class SStarSolver:
         Sequential storage backend: ``"blocks"`` (padded dense blocks, the
         default) or ``"packed"`` (the paper's packed supernode panels,
         ~half the memory; sequential method only).
+    perturb:
+        Enable SuperLU_DIST-style static pivot perturbation: tiny pivots
+        (``< sqrt(eps) * ||A||``) are replaced instead of poisoning the
+        factorization; ``solve`` then escalates to iterative refinement
+        (see ``refine``).  Not supported by the ``"packed"`` backend.
+    refine:
+        Iterative-refinement policy for ``solve``: ``"auto"`` (default —
+        refine when pivots were perturbed), ``"always"`` or ``"never"``.
+        A refined solve that fails to reach ``refine_tol`` backward error
+        raises :class:`repro.numfact.NumericalError`.
+    faults, reliable:
+        Optional :class:`repro.machine.FaultPlan` (or a path/JSON string)
+        and reliable-delivery switch for the simulated parallel methods.
+        A plan with crash faults routes through the checkpoint/restart
+        drivers (:mod:`repro.parallel.resilience`).
+    ckpt_interval:
+        Stages per checkpoint round for crash recovery (default 4 when a
+        crash plan forces the resilient path).
     """
 
     def __init__(
@@ -81,6 +108,12 @@ class SStarSolver:
         method: str = "sequential",
         pivot_threshold: float = 1.0,
         backend: str = "blocks",
+        perturb: bool = False,
+        refine: str = "auto",
+        refine_tol: float = 1e-8,
+        faults=None,
+        reliable=None,
+        ckpt_interval: int = None,
     ):
         self.block_size = block_size
         self.amalgamation = amalgamation
@@ -88,13 +121,27 @@ class SStarSolver:
         self.method = method
         self.pivot_threshold = pivot_threshold
         self.backend = backend
+        self.perturb = perturb
+        if refine not in ("auto", "always", "never"):
+            raise ValueError("refine must be 'auto', 'always' or 'never'")
+        self.refine = refine
+        self.refine_tol = refine_tol
+        if isinstance(faults, str):
+            faults = FaultPlan.from_json(faults)
+        self.faults = faults
+        self.reliable = reliable
+        self.ckpt_interval = ckpt_interval
         self.spec = (
             machine if isinstance(machine, MachineSpec) else _MACHINES[machine.upper()]
         )
         self._lu: LUFactorization = None
         self._om = None
+        self._A: CSRMatrix = None
+        self.monitor: PivotMonitor = None
         self.report: FactorizationReport = None
         self.sim_result = None
+        self.resilient_result = None
+        self.refine_history = None
 
     # -- pipeline ------------------------------------------------------
 
@@ -114,9 +161,28 @@ class SStarSolver:
         )
         bstruct = build_block_structure(sym, part)
 
+        monitor = None
+        if self.backend == "blocks":
+            monitor = PivotMonitor(matrix_maxnorm(om.A), perturb=self.perturb)
+        elif self.perturb:
+            raise ValueError("perturb=True requires the 'blocks' backend")
+        self.monitor = monitor
+
+        sequential = self.method == "sequential" or self.nprocs == 1
+        if sequential and (self.faults is not None or self.reliable is not None):
+            raise ValueError("fault injection requires a parallel method")
+        sim_opts = {}
+        if self.faults is not None:
+            sim_opts["faults"] = self.faults
+        if self.reliable is not None:
+            sim_opts["reliable"] = self.reliable
+        has_crashes = self.faults is not None and bool(self.faults.crashes)
+        resilient = not sequential and (has_crashes or self.ckpt_interval is not None)
+
         parallel_seconds = None
         messages = bytes_sent = 0
-        if self.method == "sequential" or self.nprocs == 1:
+        restarts = 0
+        if sequential:
             if self.backend == "packed":
                 from ..numfact import packed_factor
 
@@ -128,49 +194,72 @@ class SStarSolver:
                 lu = sstar_factor(
                     om.A, sym=sym, part=part,
                     pivot_threshold=self.pivot_threshold,
+                    monitor=monitor,
                 )
             else:
                 raise ValueError(f"unknown backend {self.backend!r}")
             counter = lu.counter
-        elif self.method in ("1d-rapid", "1d-ca"):
-            from ..parallel import run_1d
+        elif self.method in ("1d-rapid", "1d-ca", "2d", "2d-sync"):
+            oned = self.method.startswith("1d")
+            if resilient:
+                from ..parallel import run_1d_resilient, run_2d_resilient
 
-            res = run_1d(
-                om.A,
-                part,
-                bstruct,
-                self.nprocs,
-                self.spec,
-                method=self.method.split("-")[1],
-                pivot_threshold=self.pivot_threshold,
-            )
-            lu = LUFactorization(res.factor, sym, part, bstruct, res.sim.total_counter())
+                kwargs = dict(
+                    ckpt_interval=self.ckpt_interval or 4,
+                    faults=self.faults,
+                    reliable=self.reliable,
+                    pivot_threshold=self.pivot_threshold,
+                    monitor=monitor,
+                )
+                if oned:
+                    res = run_1d_resilient(
+                        om.A, part, bstruct, self.nprocs, self.spec,
+                        method=self.method.split("-")[1], **kwargs,
+                    )
+                else:
+                    res = run_2d_resilient(
+                        om.A, part, bstruct, self.nprocs, self.spec,
+                        synchronous=self.method.endswith("sync"), **kwargs,
+                    )
+                self.resilient_result = res
+                restarts = sum(1 for r in res.rounds if not r.ok)
+                lu = LUFactorization(res.factor, sym, part, bstruct, res.total_counter())
+            elif oned:
+                from ..parallel import run_1d
+
+                res = run_1d(
+                    om.A, part, bstruct, self.nprocs, self.spec,
+                    method=self.method.split("-")[1],
+                    pivot_threshold=self.pivot_threshold,
+                    sim_opts=sim_opts,
+                    monitor=monitor,
+                )
+                self.sim_result = res.sim
+                lu = LUFactorization(res.factor, sym, part, bstruct, res.sim.total_counter())
+            else:
+                from ..parallel import run_2d
+
+                res = run_2d(
+                    om.A, part, bstruct, self.nprocs, self.spec,
+                    synchronous=self.method.endswith("sync"),
+                    pivot_threshold=self.pivot_threshold,
+                    sim_opts=sim_opts,
+                    monitor=monitor,
+                )
+                self.sim_result = res.sim
+                lu = LUFactorization(res.factor, sym, part, bstruct, res.sim.total_counter())
             counter = lu.counter
             parallel_seconds = res.parallel_seconds
-            messages, bytes_sent = res.sim.messages, res.sim.bytes_sent
-            self.sim_result = res.sim
-        elif self.method in ("2d", "2d-sync"):
-            from ..parallel import run_2d
-
-            res = run_2d(
-                om.A,
-                part,
-                bstruct,
-                self.nprocs,
-                self.spec,
-                synchronous=self.method.endswith("sync"),
-                pivot_threshold=self.pivot_threshold,
-            )
-            lu = LUFactorization(res.factor, sym, part, bstruct, res.sim.total_counter())
-            counter = lu.counter
-            parallel_seconds = res.parallel_seconds
-            messages, bytes_sent = res.sim.messages, res.sim.bytes_sent
-            self.sim_result = res.sim
+            if resilient:
+                messages, bytes_sent = res.messages, res.bytes_sent
+            else:
+                messages, bytes_sent = res.sim.messages, res.sim.bytes_sent
         else:
             raise ValueError(f"unknown method {self.method!r}")
 
         self._lu = lu
         self._om = om
+        self._A = A
         self.report = FactorizationReport(
             n=A.nrows,
             nnz=A.nnz,
@@ -182,18 +271,54 @@ class SStarSolver:
             nprocs=self.nprocs if self.method != "sequential" else 1,
             messages=messages,
             bytes_sent=bytes_sent,
+            growth_factor=monitor.growth_factor if monitor is not None else None,
+            perturbed_pivots=len(monitor.perturbations) if monitor is not None else 0,
+            restarts=restarts,
         )
         return self
 
-    def solve(self, b: np.ndarray) -> np.ndarray:
-        """Solve ``A x = b`` in the caller's original coordinates."""
-        if self._lu is None:
-            raise RuntimeError("call factor(A) first")
+    def _solve_once(self, b: np.ndarray) -> np.ndarray:
+        """One factored solve in the caller's original coordinates."""
         om = self._om
-        b = np.asarray(b, dtype=np.float64)
-        z = self._lu.solve(b[om.row_perm])
+        z = self._lu.solve(np.asarray(b, dtype=np.float64)[om.row_perm])
         x = np.empty_like(z)
         x[om.col_perm] = z
+        return x
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Solve ``A x = b`` in the caller's original coordinates.
+
+        When pivots were perturbed (``perturb=True`` met tiny pivots) or
+        ``refine="always"``, the direct solve against the factorization of
+        the perturbed matrix is corrected by iterative refinement on the
+        *original* ``A``; if the refined backward error does not reach
+        ``refine_tol`` a :class:`repro.numfact.NumericalError` is raised
+        instead of returning an unusable solution.
+        """
+        if self._lu is None:
+            raise RuntimeError("call factor(A) first")
+        b = np.asarray(b, dtype=np.float64)
+        perturbed = self.monitor is not None and bool(self.monitor.perturbations)
+        want_refine = self.refine == "always" or (
+            self.refine == "auto" and perturbed
+        )
+        if not want_refine or b.ndim != 1:
+            return self._solve_once(b)
+        from ..analysis.stability import iterative_refinement
+
+        x, history = iterative_refinement(
+            self._A, self._solve_once, b, max_iters=10, tol=self.refine_tol
+        )
+        berr = history[-1]
+        if not np.isfinite(berr) or berr > self.refine_tol:
+            raise NumericalError(
+                f"iterative refinement stalled at backward error {berr:.3g} "
+                f"(target {self.refine_tol:.3g}) after {len(history) - 1} "
+                "iteration(s); the matrix is numerically singular",
+                backward_error=float(berr),
+                iterations=len(history) - 1,
+            )
+        self.refine_history = history
         return x
 
     @property

@@ -84,6 +84,7 @@ def cmd_factor(args) -> int:
 def cmd_solve(args) -> int:
     from . import SStarSolver
     from .analysis import backward_error, iterative_refinement
+    from .machine import FaultPlan
     from .sparse import csr_matvec
 
     A = _load(args.matrix)
@@ -92,7 +93,30 @@ def cmd_solve(args) -> int:
     else:
         rng = np.random.default_rng(args.seed)
         b = rng.uniform(-1, 1, A.nrows)
-    solver = SStarSolver(pivot_threshold=args.threshold).factor(A)
+    faults = FaultPlan.from_json(args.faults) if args.faults else None
+    method, nprocs = args.method, args.nprocs
+    if faults is not None and method == "sequential":
+        # fault injection needs the simulated machine
+        method, nprocs = "1d-ca", max(nprocs, 4)
+    solver = SStarSolver(
+        pivot_threshold=args.threshold,
+        nprocs=nprocs,
+        method=method,
+        machine=args.machine,
+        perturb=args.perturb,
+        # the explicit --refine path below does its own refinement; keep the
+        # solver's automatic escalation out of its way
+        refine="never" if args.refine else "auto",
+        faults=faults,
+        reliable=True if faults is not None else None,
+        ckpt_interval=args.ckpt_interval,
+    ).factor(A)
+    if solver.report.perturbed_pivots:
+        print(f"perturbed pivots  : {solver.report.perturbed_pivots} "
+              f"(growth {solver.report.growth_factor:.3g})")
+    if solver.report.restarts:
+        print(f"crash restarts    : {solver.report.restarts} "
+              f"(finished on {solver.resilient_result.nprocs_final} ranks)")
     if args.refine:
         x, history = iterative_refinement(A, solver.solve, b)
         print("refinement backward errors: "
@@ -110,10 +134,14 @@ def cmd_solve(args) -> int:
 
 def cmd_simulate(args) -> int:
     from . import SStarSolver
+    from .machine import FaultPlan
 
     A = _load(args.matrix)
     solver = SStarSolver(
-        nprocs=args.nprocs, method=args.method, machine=args.machine
+        nprocs=args.nprocs, method=args.method, machine=args.machine,
+        faults=FaultPlan.from_json(args.faults) if args.faults else None,
+        reliable=True if args.reliable else None,
+        ckpt_interval=args.ckpt_interval,
     ).factor(A)
     r = solver.report
     print(f"method={args.method} machine={args.machine} P={args.nprocs}")
@@ -121,6 +149,17 @@ def cmd_simulate(args) -> int:
     print(f"messages / bytes      : {r.messages} / {r.bytes_sent}")
     print(f"achieved MFLOPS (S* flops basis): "
           f"{r.flops / r.parallel_seconds / 1e6:.1f}")
+    if solver.sim_result is not None and solver.sim_result.fault_stats is not None:
+        fs = solver.sim_result.fault_stats
+        if fs.total_injected() or fs.retransmits:
+            print(f"faults injected       : {fs.dropped} dropped, "
+                  f"{fs.duplicated} duplicated, {fs.delayed} delayed, "
+                  f"{fs.corrupted} corrupted; {fs.retransmits} retransmits")
+    if solver.resilient_result is not None:
+        res = solver.resilient_result
+        print(f"checkpoint rounds     : {len(res.rounds)} "
+              f"({r.restarts} restarted after crashes; finished on "
+              f"{res.nprocs_final} ranks)")
     return 0
 
 
@@ -267,6 +306,74 @@ def cmd_verify_comm(args) -> int:
                 print(f"  {m}")
             failures += len(rep.mismatches)
 
+    # -- 4. fault injection: recovered runs must still satisfy the protocol
+    if args.fault_rate > 0 or args.crash_recovery:
+        from .machine import FaultPlan
+        from .parallel import run_1d_resilient
+
+        print(f"\n== fault-injection trace check "
+              f"(drop rate {args.fault_rate}, seed {args.fault_seed}) ==")
+
+        def faulty_runner(faults, sim_opts):
+            opts = dict(sim_opts)
+            opts.update({"faults": faults, "reliable": True})
+            return run_1d(om.A, part, bstruct, P, spec, method="ca", tg=tg,
+                          sim_opts=opts)
+
+        if args.fault_rate > 0:
+            plan = FaultPlan.drops(args.fault_rate, seed=args.fault_seed)
+            res = faulty_runner(plan, {"trace": True})
+            report = check_run(res.sim, spec=spec, tg=tg, schedule=res.schedule)
+            fs = res.sim.fault_stats
+            print(f"1d-ca+drops : {report.summary()} "
+                  f"({fs.dropped} dropped, {fs.retransmits} retransmits)")
+            for v in report.violations:
+                print(f"  {v}")
+            failures += len(report.violations)
+            if not args.skip_replay:
+                rep = replay_check(
+                    lambda so: faulty_runner(plan, so), P,
+                    n_orders=args.replays,
+                )
+                print(f"faulty replay: {rep.summary()}")
+                for m in rep.mismatches:
+                    print(f"  {m}")
+                failures += len(rep.mismatches)
+
+        if args.crash_recovery:
+            # crash a rank mid-factorization, recover via checkpoint/restart
+            # and require every committed round's trace to pass the checks
+            base = run_1d(om.A, part, bstruct, P, spec, method="ca", tg=tg)
+            plan = FaultPlan.drops(args.fault_rate, seed=args.fault_seed)
+            plan = plan.with_crash(P - 1, 0.4 * base.sim.total_time)
+            rres = run_1d_resilient(
+                om.A, part, bstruct, P, spec, method="ca", faults=plan,
+                reliable=True, sim_opts={"trace": True},
+            )
+            nbad = sum(1 for r in rres.rounds if not r.ok)
+            print(f"crash-recovery: {len(rres.rounds)} rounds, {nbad} "
+                  f"restarted, finished on {rres.nprocs_final} ranks")
+            for i, sim in enumerate(rres.results):
+                report = check_run(sim, spec=spec)
+                if report.violations:
+                    print(f"  round {i}: {report.summary()}")
+                    for v in report.violations:
+                        print(f"    {v}")
+                failures += len(report.violations)
+            recovered_ok = (
+                set(base.factor.blocks) == set(rres.factor.blocks)
+                and all(
+                    np.array_equal(base.factor.blocks[key],
+                                   rres.factor.blocks[key])
+                    for key in base.factor.blocks
+                )
+                and base.factor.pivot_seq == rres.factor.pivot_seq
+            )
+            print(f"recovered factor bit-identical to fault-free: "
+                  f"{'yes' if recovered_ok else 'NO'}")
+            if not recovered_ok:
+                failures += 1
+
     print(f"\n{'PASS' if failures == 0 else 'FAIL'}: {failures} violation(s)")
     return 0 if failures == 0 else 1
 
@@ -315,6 +422,19 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--threshold", type=float, default=1.0)
     s.add_argument("--refine", action="store_true",
                    help="apply iterative refinement")
+    s.add_argument("--nprocs", type=int, default=1)
+    s.add_argument("--method", default="sequential",
+                   choices=["sequential", "1d-rapid", "1d-ca", "2d", "2d-sync"])
+    s.add_argument("--machine", default="T3E", choices=["T3D", "T3E", "GENERIC"])
+    s.add_argument("--perturb", action="store_true",
+                   help="replace tiny pivots by sqrt(eps)*||A|| instead of "
+                        "failing (recover via --refine)")
+    s.add_argument("--faults",
+                   help="FaultPlan JSON file: inject message/crash faults "
+                        "into the simulated parallel run (implies 1d-ca on "
+                        "4 ranks unless --method/--nprocs are given)")
+    s.add_argument("--ckpt-interval", type=int, default=None,
+                   help="stages per checkpoint round (crash recovery)")
     s.add_argument("-o", "--output")
     s.set_defaults(func=cmd_solve)
 
@@ -324,6 +444,12 @@ def build_parser() -> argparse.ArgumentParser:
     m.add_argument("--method", default="2d",
                    choices=["1d-rapid", "1d-ca", "2d", "2d-sync"])
     m.add_argument("--machine", default="T3E", choices=["T3D", "T3E", "GENERIC"])
+    m.add_argument("--faults", help="FaultPlan JSON file to inject")
+    m.add_argument("--reliable", action="store_true",
+                   help="enable the ack/retry transport")
+    m.add_argument("--ckpt-interval", type=int, default=None,
+                   help="stages per checkpoint round (enables the "
+                        "checkpoint/restart driver)")
     m.set_defaults(func=cmd_simulate)
 
     v = sub.add_parser("validate", help="run the invariant battery on a matrix")
@@ -356,6 +482,13 @@ def build_parser() -> argparse.ArgumentParser:
     vc.add_argument("--skip-replay", action="store_true")
     vc.add_argument("--replays", type=int, default=3,
                     help="number of perturbed host orders per code")
+    vc.add_argument("--fault-rate", type=float, default=0.0,
+                    help="drop this fraction of messages (reliable retry on) "
+                         "and trace-check the recovered run")
+    vc.add_argument("--fault-seed", type=int, default=7)
+    vc.add_argument("--crash-recovery", action="store_true",
+                    help="crash a rank mid-run, recover via checkpoint/"
+                         "restart and trace-check every committed round")
     vc.set_defaults(func=cmd_verify_comm)
 
     ls = sub.add_parser("suite", help="list built-in suite matrices")

@@ -7,9 +7,20 @@ SPMD simulator**: ranks are Python generators that execute the *real*
 numerics; compute and communication advance per-rank virtual clocks priced
 by a :class:`MachineSpec` calibrated to the paper's published kernel and
 network figures.
+
+:mod:`faults` adds deterministic fault injection (message drop/duplicate/
+delay/corrupt, rank crashes) and the opt-in reliable-delivery transport;
+see DESIGN.md "Resilience".
 """
 
 from .specs import MachineSpec, T3D, T3E, GENERIC
+from .faults import (
+    FaultPlan,
+    MessageFaultRule,
+    CrashFault,
+    ReliableDelivery,
+    FaultStats,
+)
 from .simulator import (
     Simulator,
     Env,
@@ -17,6 +28,11 @@ from .simulator import (
     SimTrace,
     MessageRecord,
     DeadlockError,
+    DeliveryError,
+    MessageLostError,
+    RankCrashedError,
+    Timeout,
+    TIMEOUT,
     TaskSpan,
 )
 
@@ -25,11 +41,21 @@ __all__ = [
     "T3D",
     "T3E",
     "GENERIC",
+    "FaultPlan",
+    "MessageFaultRule",
+    "CrashFault",
+    "ReliableDelivery",
+    "FaultStats",
     "Simulator",
     "Env",
     "SimResult",
     "SimTrace",
     "MessageRecord",
     "DeadlockError",
+    "DeliveryError",
+    "MessageLostError",
+    "RankCrashedError",
+    "Timeout",
+    "TIMEOUT",
     "TaskSpan",
 ]

@@ -32,7 +32,71 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..numfact.counter import KernelCounter
+from .faults import CORRUPT, DELAY, DROP, DUPLICATE, FaultStats, ReliableDelivery
 from .specs import MachineSpec
+
+
+class DeliveryError(RuntimeError):
+    """A message could not be delivered.
+
+    Structured attributes: ``src``, ``dest``, ``tag``, ``attempts`` (number
+    of transmission attempts made before giving up).
+    """
+
+    def __init__(self, message, src=None, dest=None, tag=None, attempts=0):
+        super().__init__(message)
+        self.src = src
+        self.dest = dest
+        self.tag = tag
+        self.attempts = attempts
+
+
+class MessageLostError(DeliveryError):
+    """A rank is blocked waiting for a message the network dropped.
+
+    Raised instead of :class:`DeadlockError` when the scheduler can prove
+    the awaited transfer was lost to fault injection (and reliable delivery
+    was off, so nothing will ever retransmit it).
+    """
+
+
+class RankCrashedError(RuntimeError):
+    """A crashed rank left the surviving ranks unable to progress.
+
+    Structured attributes: ``ranks`` (the crashed ranks), ``crash_times``
+    (``{rank: virtual clock at death}``), ``detected_at`` (the virtual time
+    at which the survivors' heartbeat timeout detected the failure), and
+    ``blocked`` as for :class:`DeadlockError`.
+    """
+
+    def __init__(self, message, ranks=(), crash_times=None, detected_at=0.0,
+                 blocked=None):
+        super().__init__(message)
+        self.ranks = list(ranks)
+        self.crash_times = dict(crash_times or {})
+        self.detected_at = detected_at
+        self.blocked = blocked or []
+
+
+class Timeout:
+    """Sentinel returned by ``recv(tag, timeout=...)`` when the deadline
+    passes without a matching message.  Falsy, singleton (``TIMEOUT``)."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __bool__(self):
+        return False
+
+    def __repr__(self):
+        return "TIMEOUT"
+
+
+TIMEOUT = Timeout()
 
 
 class DeadlockError(RuntimeError):
@@ -66,7 +130,12 @@ class TaskSpan:
 
 @dataclass
 class MessageRecord:
-    """One message in a :class:`SimTrace` (send-ordered)."""
+    """One transmission attempt in a :class:`SimTrace` (send-ordered).
+
+    ``logical`` identifies the logical transfer: retransmissions and
+    fault-injected duplicates of one ``send`` share it, which is how the
+    trace checker distinguishes them from genuine tag reuse.
+    """
 
     seq: int
     src: int
@@ -77,6 +146,11 @@ class MessageRecord:
     nbytes: int
     recv_time: float = None  # receiver clock at consumption (None = never)
     consumed: bool = False
+    logical: int = None  # logical transfer id (seq of the first attempt)
+    attempt: int = 0  # 0 = first transmission, >0 = retransmit
+    dropped: bool = False  # lost to fault injection (never deposited)
+    duplicate: bool = False  # fault-injected extra copy
+    corrupted: bool = False  # payload corrupted in flight
 
 
 @dataclass
@@ -99,10 +173,11 @@ class SimTrace:
 
 
 class _RecvRequest:
-    __slots__ = ("tag",)
+    __slots__ = ("tag", "deadline")
 
-    def __init__(self, tag):
+    def __init__(self, tag, deadline=None):
         self.tag = tag
+        self.deadline = deadline
 
 
 class _BarrierRequest:
@@ -137,6 +212,32 @@ def _copy_payload(payload):
     if isinstance(payload, dict):
         return {k: _copy_payload(v) for k, v in payload.items()}
     return payload
+
+
+def _corrupt_payload(payload):
+    """Deterministically flip one value in a (copied) payload.
+
+    Mutates the first numeric leaf found (depth-first) by scaling and
+    shifting it — a visible, finite bit error.  Returns True on success so
+    callers know whether anything was actually corruptible.
+    """
+    if isinstance(payload, np.ndarray):
+        if payload.size:
+            flat = payload.reshape(-1)
+            flat[0] = flat[0] * 1.5 + 1.0
+            return True
+        return False
+    if isinstance(payload, (list, tuple)):
+        for p in payload:
+            if _corrupt_payload(p):
+                return True
+        return False
+    if isinstance(payload, dict):
+        for v in payload.values():
+            if _corrupt_payload(v):
+                return True
+        return False
+    return False
 
 
 class Env:
@@ -189,24 +290,101 @@ class Env:
     # -- communication -----------------------------------------------------
 
     def send(self, dest: int, tag, payload, nbytes: int = None) -> None:
-        """One-sided put to ``dest``; sender pays the overhead."""
+        """One-sided put to ``dest``; sender pays the overhead.
+
+        Under a :class:`FaultPlan` the transmission may be dropped,
+        duplicated, delayed or corrupted; with :class:`ReliableDelivery`
+        enabled a failed attempt is retried (ack/timeout/exponential
+        backoff) up to ``max_attempts`` times, after which a typed
+        :class:`DeliveryError` is raised.
+        """
+        sim = self._sim
         if dest == self.rank:
-            # local deposit: no network cost
-            self._sim._deposit(
+            # local deposit: no network cost, no faults
+            sim._deposit(
                 dest, tag, self.clock, self.rank, _copy_payload(payload),
                 nbytes=0, send_clock=self.clock,
             )
             return
         nbytes = _payload_nbytes(payload) if nbytes is None else nbytes
-        spec = self._sim.spec
-        t_send = self.clock
-        self.clock += spec.latency_s
-        arrival = self.clock + nbytes / spec.bandwidth_bps
-        self.sent_messages += 1
-        self.sent_bytes += nbytes
-        self._sim._deposit(
-            dest, tag, arrival, self.rank, _copy_payload(payload),
-            nbytes=nbytes, send_clock=t_send,
+        spec = sim.spec
+        plan = sim.faults
+        rel = sim.reliable
+        attempts = rel.max_attempts if rel is not None else 1
+        logical = None
+        for attempt in range(attempts):
+            t_send = self.clock
+            self.clock += spec.latency_s
+            arrival = self.clock + nbytes / spec.bandwidth_bps
+            self.sent_messages += 1
+            self.sent_bytes += nbytes
+            if attempt > 0:
+                sim.fault_stats.retransmits += 1
+
+            rule = (
+                plan.message_fault(self.rank, dest, tag, attempt)
+                if plan is not None
+                else None
+            )
+            action = rule.action if rule is not None else None
+            pay = _copy_payload(payload)
+            corrupted = False
+            if action == CORRUPT:
+                corrupted = _corrupt_payload(pay)
+                if corrupted:
+                    sim.fault_stats.corrupted += 1
+            if action == DELAY:
+                arrival += rule.delay_s
+                sim.fault_stats.delayed += 1
+            dropped = action == DROP
+            # with checksums, a corrupted frame is discarded at the
+            # receiver's NIC — it behaves like a drop and gets retried
+            failed = dropped or (corrupted and rel is not None and rel.checksum)
+            if dropped:
+                sim.fault_stats.dropped += 1
+
+            if not failed:
+                rec = sim._deposit(
+                    dest, tag, arrival, self.rank, pay,
+                    nbytes=nbytes, send_clock=t_send,
+                    logical=logical, attempt=attempt, corrupted=corrupted,
+                )
+                if rec is not None and logical is None:
+                    logical = rec.seq
+                if action == DUPLICATE:
+                    sim.fault_stats.duplicated += 1
+                    dup_arrival = arrival + spec.latency_s
+                    sim._deposit(
+                        dest, tag, dup_arrival, self.rank, _copy_payload(pay),
+                        nbytes=nbytes, send_clock=t_send,
+                        logical=logical, attempt=attempt, duplicate=True,
+                    )
+                if rel is not None:
+                    # block until the ack returns
+                    self.clock = max(self.clock, arrival + rel.ack(spec))
+                return
+
+            # failed attempt: record it (dropped, never deposited)
+            rec = sim._record_dropped(
+                dest, tag, arrival, self.rank,
+                nbytes=nbytes, send_clock=t_send,
+                logical=logical, attempt=attempt, corrupted=corrupted,
+            )
+            if rec is not None and logical is None:
+                logical = rec.seq
+            if rel is None:
+                # one-sided put: the sender never learns the message died;
+                # remember the loss so a blocked receiver gets a typed
+                # MessageLostError instead of a bare DeadlockError
+                sim._note_lost(dest, tag, self.rank)
+                return
+            if attempt + 1 < attempts:
+                # retransmission timeout with exponential backoff
+                self.clock += rel.rto(spec) * (2.0 ** attempt)
+        raise DeliveryError(
+            f"rank {self.rank} -> {dest} tag {tag!r}: all {attempts} "
+            "transmission attempts lost",
+            src=self.rank, dest=dest, tag=tag, attempts=attempts,
         )
 
     def multicast(self, dests, tag, payload, nbytes: int = None) -> None:
@@ -215,9 +393,15 @@ class Env:
             if d != self.rank:
                 self.send(d, tag, payload, nbytes=nbytes)
 
-    def recv(self, tag):
-        """Yieldable: block until a message tagged ``tag`` is available."""
-        return _RecvRequest(tag)
+    def recv(self, tag, timeout: float = None):
+        """Yieldable: block until a message tagged ``tag`` is available.
+
+        With ``timeout`` (virtual seconds) the yield resumes with the
+        :data:`TIMEOUT` sentinel once the deadline passes and no matching
+        message can arrive — it never raises :class:`DeadlockError`.
+        """
+        deadline = None if timeout is None else self.clock + float(timeout)
+        return _RecvRequest(tag, deadline)
 
     def barrier(self):
         """Yieldable: global barrier."""
@@ -245,6 +429,8 @@ class SimResult:
     bytes_sent: int
     returns: list  # per-rank program return values
     trace: SimTrace = None  # message trace (only when Simulator(trace=True))
+    crashed: list = field(default_factory=list)  # ranks dead at exit
+    fault_stats: FaultStats = field(default_factory=FaultStats)
 
     @property
     def nprocs(self) -> int:
@@ -275,6 +461,9 @@ class Simulator:
         args=(),
         trace: bool = False,
         host_order=None,
+        faults=None,
+        reliable=None,
+        heartbeat_s: float = None,
     ):
         """``program(env, *args)`` must return a generator (it may also be a
         plain function for compute-only ranks).
@@ -285,11 +474,31 @@ class Simulator:
         perturbs the *host* scheduling order (which runnable rank the event
         loop advances first); simulated semantics must not depend on it —
         the replay checker asserts exactly that.
+
+        ``faults`` is an optional :class:`repro.machine.FaultPlan`;
+        ``reliable`` enables the ack/retry transport (pass ``True`` for the
+        defaults or a :class:`ReliableDelivery` config).  ``heartbeat_s`` is
+        the virtual-time heartbeat timeout after which survivors declare a
+        silent rank dead (default: 100x the network latency).
         """
         self.nprocs = nprocs
         self.spec = spec
         self._mailboxes = {}  # (dest, tag) -> heap of (arrival, seq, payload)
         self._seq = 0
+        self.faults = faults
+        self.reliable = (
+            ReliableDelivery() if reliable is True else (reliable or None)
+        )
+        self.heartbeat_s = (
+            heartbeat_s if heartbeat_s is not None else 100.0 * spec.latency_s
+        )
+        self.fault_stats = FaultStats()
+        self._lost = {}  # (dest, hashable tag) -> [src, ...] dropped, no retry
+        self._crash_time = {}
+        if faults is not None:
+            for c in faults.crashes:
+                if 0 <= c.rank < nprocs:
+                    self._crash_time[c.rank] = c.at_time
         self.trace = SimTrace() if trace else None
         if host_order is None:
             self._order = list(range(nprocs))
@@ -302,19 +511,41 @@ class Simulator:
 
     # -- mailbox -----------------------------------------------------------
 
-    def _deposit(self, dest, tag, arrival, src, payload, nbytes=0, send_clock=0.0):
+    def _deposit(self, dest, tag, arrival, src, payload, nbytes=0, send_clock=0.0,
+                 logical=None, attempt=0, duplicate=False, corrupted=False):
         self._seq += 1
         record = None
         if self.trace is not None:
             record = MessageRecord(
                 seq=self._seq, src=src, dest=dest, tag=tag,
                 send_clock=send_clock, arrival=arrival, nbytes=nbytes,
+                logical=self._seq if logical is None else logical,
+                attempt=attempt, duplicate=duplicate, corrupted=corrupted,
             )
             self.trace.records.append(record)
         heapq.heappush(
             self._mailboxes.setdefault((dest, tag), []),
             (arrival, self._seq, payload, src, record),
         )
+        return record
+
+    def _record_dropped(self, dest, tag, arrival, src, nbytes=0, send_clock=0.0,
+                        logical=None, attempt=0, corrupted=False):
+        """Trace a transmission attempt that the network lost."""
+        self._seq += 1
+        record = None
+        if self.trace is not None:
+            record = MessageRecord(
+                seq=self._seq, src=src, dest=dest, tag=tag,
+                send_clock=send_clock, arrival=arrival, nbytes=nbytes,
+                logical=self._seq if logical is None else logical,
+                attempt=attempt, dropped=True, corrupted=corrupted,
+            )
+            self.trace.records.append(record)
+        return record
+
+    def _note_lost(self, dest, tag, src):
+        self._lost.setdefault((dest, repr(tag)), []).append(src)
 
     def _try_fetch(self, dest, tag):
         box = self._mailboxes.get((dest, tag))
@@ -363,13 +594,80 @@ class Simulator:
             pending=pending,
         )
 
+    def _crashed_error(self, crashed, blocked, state, waiting_tag, RECV):
+        """Survivors' heartbeat timeout expired on a dead rank."""
+        crash_times = {r: t for r, t in self.fault_stats.crashes}
+        blocked_info = [
+            (r, waiting_tag[r] if state[r] == RECV else "barrier")
+            for r in blocked
+        ]
+        t_block = max((self.envs[r].clock for r in blocked), default=0.0)
+        detected_at = t_block + self.heartbeat_s
+        names = ", ".join(
+            f"rank {r} (died at t={crash_times.get(r, 0.0):.3g})" for r in crashed
+        )
+        waits = "; ".join(
+            f"rank {r} waiting on {what!r}" for r, what in blocked_info
+        )
+        return RankCrashedError(
+            f"rank crash detected by heartbeat timeout at t={detected_at:.3g}: "
+            f"{names}; survivors blocked: {waits}",
+            ranks=crashed,
+            crash_times=crash_times,
+            detected_at=detected_at,
+            blocked=blocked_info,
+        )
+
+    def _lost_message_error(self, blocked, state, waiting_tag, RECV):
+        """A blocked receiver's awaited message was provably dropped."""
+        for r in blocked:
+            if state[r] != RECV:
+                continue
+            srcs = self._lost.get((r, repr(waiting_tag[r])))
+            if srcs:
+                return MessageLostError(
+                    f"rank {r} waits on tag {waiting_tag[r]!r}, but the "
+                    f"network dropped that message from rank {srcs[0]} and "
+                    "reliable delivery is off (no retransmission will come)",
+                    src=srcs[0], dest=r, tag=waiting_tag[r], attempts=1,
+                )
+        return None
+
     # -- main loop ---------------------------------------------------------
 
     def run(self) -> SimResult:
-        READY, RECV, BARRIER, DONE = 0, 1, 2, 3
+        READY, RECV, BARRIER, DONE, CRASHED = 0, 1, 2, 3, 4
         state = [READY] * self.nprocs
         waiting_tag = [None] * self.nprocs
+        waiting_deadline = [None] * self.nprocs
         returns = [None] * self.nprocs
+        crash_time = dict(self._crash_time)
+
+        def crash(r, at=None):
+            """Kill rank r at its next yield/task boundary."""
+            env = self.envs[r]
+            if at is not None:
+                env.clock = max(env.clock, at)
+            state[r] = CRASHED
+            waiting_tag[r] = None
+            waiting_deadline[r] = None
+            crash_time.pop(r, None)
+            self.fault_stats.crashes.append((r, env.clock))
+            gen = self._programs[r]
+            if hasattr(gen, "close"):
+                gen.close()
+
+        def maybe_crash(r) -> bool:
+            """Apply a scheduled crash once the rank's clock reaches it."""
+            t = crash_time.get(r)
+            if (
+                t is not None
+                and state[r] not in (DONE, CRASHED)
+                and self.envs[r].clock >= t
+            ):
+                crash(r)
+                return True
+            return False
 
         def resume(r, value=None):
             """Advance rank r's generator until it blocks or finishes."""
@@ -387,12 +685,14 @@ class Simulator:
             if isinstance(req, _RecvRequest):
                 state[r] = RECV
                 waiting_tag[r] = req.tag
+                waiting_deadline[r] = req.deadline
             elif isinstance(req, _BarrierRequest):
                 state[r] = BARRIER
             else:
                 raise TypeError(
                     f"rank {r} yielded {req!r}; yield env.recv(...) or env.barrier()"
                 )
+            maybe_crash(r)
 
         for r in self._order:
             resume(r)
@@ -402,36 +702,89 @@ class Simulator:
             # satisfy receivers
             for r in self._order:
                 if state[r] == RECV:
-                    got = self._try_fetch(r, waiting_tag[r])
-                    if got is not None:
-                        arrival, payload, record = got
-                        env = self.envs[r]
-                        env.clock = max(env.clock, arrival)
-                        if record is not None:
-                            record.consumed = True
-                            record.recv_time = env.clock
-                        state[r] = READY
-                        waiting_tag[r] = None
-                        resume(r, payload)
+                    box = self._mailboxes.get((r, waiting_tag[r]))
+                    if not box:
+                        continue
+                    env = self.envs[r]
+                    arrival = box[0][0]
+                    if (
+                        waiting_deadline[r] is not None
+                        and arrival > waiting_deadline[r]
+                    ):
+                        # cannot be satisfied in time; the timeout fires at
+                        # the quiescent point below (another sender may yet
+                        # deposit an earlier message)
+                        continue
+                    ct = crash_time.get(r)
+                    if ct is not None and max(env.clock, arrival) >= ct:
+                        # the rank dies before it could process the message;
+                        # leave it undelivered
+                        crash(r, at=ct)
                         progressed = True
+                        continue
+                    arrival, payload, record = self._try_fetch(r, waiting_tag[r])
+                    env.clock = max(env.clock, arrival)
+                    if record is not None:
+                        record.consumed = True
+                        record.recv_time = env.clock
+                    state[r] = READY
+                    waiting_tag[r] = None
+                    waiting_deadline[r] = None
+                    resume(r, payload)
+                    progressed = True
             if progressed:
                 continue
-            # barrier: everyone not DONE must be at the barrier
+            # barrier: everyone live must be at the barrier
             at_barrier = [r for r in self._order if state[r] == BARRIER]
-            live = [r for r in range(self.nprocs) if state[r] != DONE]
+            live = [r for r in range(self.nprocs) if state[r] not in (DONE, CRASHED)]
+            crashed = sorted(r for r in range(self.nprocs) if state[r] == CRASHED)
             if at_barrier and len(at_barrier) == len(live):
+                if crashed:
+                    # a barrier can never complete once a participant died
+                    raise self._crashed_error(crashed, at_barrier, state,
+                                              waiting_tag, RECV)
                 t = max(self.envs[r].clock for r in at_barrier)
                 t += self.spec.barrier_seconds(self.nprocs)
                 for r in at_barrier:
                     self.envs[r].clock = t
                     state[r] = READY
                 for r in at_barrier:
-                    resume(r)
+                    if state[r] == READY:
+                        resume(r)
                 continue
             if not live:
                 break
             blocked = [r for r in live if state[r] in (RECV, BARRIER)]
             if len(blocked) == len(live):
+                # quiescent: no rank can advance on its own.  Fire the
+                # earliest virtual-time event — a recv timeout or a
+                # scheduled crash of a blocked rank — before declaring
+                # failure.  The choice is a min over (time, rank): host
+                # scheduling order never matters.
+                events = []
+                for r in blocked:
+                    if state[r] == RECV and waiting_deadline[r] is not None:
+                        events.append((waiting_deadline[r], 0, r))
+                    if crash_time.get(r) is not None:
+                        events.append((crash_time[r], 1, r))
+                if events:
+                    t, kind, r = min(events)
+                    if kind == 1:
+                        crash(r, at=t)
+                    else:
+                        env = self.envs[r]
+                        env.clock = max(env.clock, t)
+                        state[r] = READY
+                        waiting_tag[r] = None
+                        waiting_deadline[r] = None
+                        resume(r, TIMEOUT)
+                    continue
+                if crashed:
+                    raise self._crashed_error(crashed, blocked, state,
+                                              waiting_tag, RECV)
+                lost = self._lost_message_error(blocked, state, waiting_tag, RECV)
+                if lost is not None:
+                    raise lost
                 raise self._deadlock_error(blocked, state, waiting_tag, RECV)
             # should not happen: READY ranks are resumed inside resume()
             raise AssertionError("scheduler invariant violated")
@@ -449,4 +802,6 @@ class Simulator:
             messages=sum(env.sent_messages for env in self.envs),
             bytes_sent=sum(env.sent_bytes for env in self.envs),
             returns=returns,
+            crashed=sorted(r for r in range(self.nprocs) if state[r] == CRASHED),
+            fault_stats=self.fault_stats,
         )

@@ -19,6 +19,12 @@ from .tasks import (
 from .sequential import sstar_factor, LUFactorization
 from .serialize import save_factorization, load_factorization
 from .packed import packed_factor, PackedLUMatrix, PackedFactorization
+from .robust import (
+    NumericalError,
+    PerturbationRecord,
+    PivotMonitor,
+    matrix_maxnorm,
+)
 
 __all__ = [
     "KernelCounter",
@@ -41,4 +47,8 @@ __all__ = [
     "packed_factor",
     "PackedLUMatrix",
     "PackedFactorization",
+    "NumericalError",
+    "PerturbationRecord",
+    "PivotMonitor",
+    "matrix_maxnorm",
 ]

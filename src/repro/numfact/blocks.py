@@ -23,7 +23,15 @@ class StructureViolation(RuntimeError):
 
 
 class SingularMatrixError(RuntimeError):
-    """No structural candidate with a nonzero value exists for some pivot."""
+    """No structural candidate with a usable value exists for some pivot.
+
+    ``pivot_index`` is the offending global column (elimination index),
+    when known.
+    """
+
+    def __init__(self, message, pivot_index: int = None):
+        super().__init__(message)
+        self.pivot_index = pivot_index
 
 
 class BlockLUMatrix:

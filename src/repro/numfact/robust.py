@@ -1,0 +1,113 @@
+"""Numerical robustness: pivot-growth monitoring and static perturbation.
+
+GEPP on a structurally nonsingular but numerically (near-)singular matrix
+meets a pivot column whose largest candidate is zero or tiny; dividing by
+it overflows and the NaNs silently poison every later column.  Following
+SuperLU_DIST's static-pivoting recovery, a :class:`PivotMonitor` watches
+every pivot the elimination commits and — when perturbation is enabled —
+replaces any pivot smaller than ``sqrt(eps) * ||A||`` by
+``±sqrt(eps) * ||A||`` (sign preserved), recording each replacement in a
+perturbation log.  The factorization then completes as an *exact*
+factorization of a nearby matrix ``A + E`` with ``||E||`` tiny, and
+iterative refinement (:func:`repro.analysis.stability.iterative_refinement`)
+recovers the solution of the original system; when refinement fails to
+converge the solver raises a typed :class:`NumericalError` instead of
+returning garbage.
+
+The monitor also tracks the element-growth statistic
+``max |pivot| / max |A_ij|`` so reports can flag runs where pivoting was
+numerically stressed even without perturbation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class NumericalError(RuntimeError):
+    """The computed solution is numerically unusable (refinement failed to
+    converge, or the backward error is non-finite)."""
+
+    def __init__(self, message, backward_error: float = None, iterations: int = None):
+        super().__init__(message)
+        self.backward_error = backward_error
+        self.iterations = iterations
+
+
+@dataclass(frozen=True)
+class PerturbationRecord:
+    """One tiny-pivot replacement: global ``column``, the pivot value the
+    elimination produced, and the value substituted for it."""
+
+    column: int
+    old: float
+    new: float
+
+
+@dataclass
+class PivotMonitor:
+    """Watches committed pivots; optionally perturbs tiny ones.
+
+    Parameters
+    ----------
+    anorm:
+        ``max |A_ij|`` of the matrix being factored (its max-norm).
+    perturb:
+        When True (default), a pivot with ``|p| < threshold`` is replaced
+        by ``sign(p) * threshold``; when False the monitor only records
+        statistics and the factorization kernels raise
+        :class:`repro.numfact.SingularMatrixError` on zero pivots.
+    threshold:
+        Replacement magnitude; defaults to ``sqrt(eps) * anorm``.
+    """
+
+    anorm: float
+    perturb: bool = True
+    threshold: float = None
+    max_pivot: float = 0.0
+    min_pivot: float = math.inf
+    perturbations: list = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.threshold is None:
+            eps = float(np.finfo(np.float64).eps)
+            self.threshold = math.sqrt(eps) * max(self.anorm, 1e-300)
+
+    def consider(self, column: int, value: float) -> float:
+        """Record the pivot committed for global ``column`` and return the
+        value the elimination should divide by (perturbed if tiny)."""
+        a = abs(value)
+        if a < self.threshold and self.perturb:
+            new = self.threshold if value >= 0.0 else -self.threshold
+            self.perturbations.append(PerturbationRecord(column, value, new))
+            value, a = new, abs(new)
+        self.max_pivot = max(self.max_pivot, a)
+        if a > 0.0:
+            self.min_pivot = min(self.min_pivot, a)
+        return value
+
+    @property
+    def growth_factor(self) -> float:
+        """Element growth proxy ``max |pivot| / max |A_ij|``."""
+        if self.anorm <= 0.0:
+            return 0.0
+        return self.max_pivot / self.anorm
+
+    def summary(self) -> dict:
+        return {
+            "growth_factor": self.growth_factor,
+            "max_pivot": self.max_pivot,
+            "min_pivot": None if math.isinf(self.min_pivot) else self.min_pivot,
+            "threshold": self.threshold,
+            "perturbed_pivots": len(self.perturbations),
+        }
+
+
+def matrix_maxnorm(A) -> float:
+    """``max |A_ij|`` of a :class:`repro.sparse.CSRMatrix` (0 if empty)."""
+    if len(A.data) == 0:
+        return 0.0
+    return float(np.max(np.abs(A.data)))

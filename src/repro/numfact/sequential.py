@@ -141,11 +141,14 @@ def sstar_factor(
     part: BlockPartition = None,
     counter: KernelCounter = None,
     pivot_threshold: float = 1.0,
+    monitor=None,
 ) -> LUFactorization:
     """Factor an ordered, zero-free-diagonal matrix with the S* algorithm.
 
     Precomputed ``sym``/``part`` may be passed to amortise the front-end
     across repeated factorizations (the benchmark harness does this).
+    ``monitor`` (a :class:`repro.numfact.PivotMonitor`) enables pivot
+    growth tracking and tiny-pivot perturbation.
     """
     if sym is None:
         sym = static_symbolic_factorization(A)
@@ -158,7 +161,8 @@ def sstar_factor(
     N = part.N
     for K in range(N):
         fc = factor_block_column(
-            m, K, counter=counter, pivot_threshold=pivot_threshold
+            m, K, counter=counter, pivot_threshold=pivot_threshold,
+            monitor=monitor,
         )
         for J in bstruct.u_block_cols(K):
             update_block_column(m, fc, J, counter=counter)

@@ -56,6 +56,7 @@ def factor_block_column(
     K: int,
     counter: KernelCounter = None,
     pivot_threshold: float = 1.0,
+    monitor=None,
 ) -> FactoredColumn:
     """Run ``Factor(K)`` (Fig. 7); records the pivot sequence on ``m`` and
     returns the :class:`FactoredColumn` for downstream updates.
@@ -64,7 +65,12 @@ def factor_block_column(
     ``u``: the diagonal is kept whenever ``|a_cc| >= u * max_i |a_ic|``.
     ``u = 1.0`` is pure partial pivoting (the paper's setting); smaller
     values trade a bounded growth-factor increase for fewer interchanges
-    (and fewer swap messages in the parallel codes)."""
+    (and fewer swap messages in the parallel codes).
+
+    ``monitor`` is an optional :class:`repro.numfact.PivotMonitor`: it
+    tracks pivot growth and, when enabled, replaces tiny pivots by
+    ``±sqrt(eps)*||A||`` (SuperLU_DIST-style static perturbation) instead
+    of letting the elimination divide by them."""
     part = m.part
     bs = part.size(K)
     below = [I for I in m.bstruct.l_block_rows(K) if I > K]
@@ -77,12 +83,23 @@ def factor_block_column(
         raise ValueError("pivot_threshold must be in (0, 1]")
     pivots = []
     for c in range(bs):
+        gcol = part.start(K) + c
         col = panel[c:, c]
         t = int(np.argmax(np.abs(col))) + c
-        if panel[t, c] == 0.0:
+        if not np.isfinite(panel[t, c]):
             raise SingularMatrixError(
-                f"no nonzero pivot for global column {part.start(K) + c}"
+                f"non-finite pivot candidate for global column {gcol} "
+                "(earlier tiny pivot overflowed; enable perturbation or "
+                "loosen pivot_threshold)",
+                pivot_index=gcol,
             )
+        if panel[t, c] == 0.0:
+            if monitor is None or not monitor.perturb:
+                raise SingularMatrixError(
+                    f"no nonzero pivot for global column {gcol}",
+                    pivot_index=gcol,
+                )
+            t = c  # numerically dead column: perturb the diagonal below
         if (
             pivot_threshold < 1.0
             and abs(panel[c, c]) >= pivot_threshold * abs(panel[t, c])
@@ -92,6 +109,8 @@ def factor_block_column(
         pivots.append((int(positions[c]), int(positions[t])))
         if t != c:
             panel[[c, t], :] = panel[[t, c], :]
+        if monitor is not None:
+            panel[c, c] = monitor.consider(gcol, float(panel[c, c]))
         piv = panel[c, c]
         if c + 1 < panel.shape[0]:
             panel[c + 1 :, c] /= piv
@@ -102,6 +121,16 @@ def factor_block_column(
             sub -= np.outer(panel[c + 1 :, c], panel[c, c + 1 : bs])
             if counter is not None:
                 counter.add(DGEMV, 2.0 * max(srows - c - 1, 0) * (bs - c - 1), gran=bs)
+
+    if not np.all(np.isfinite(panel)):
+        bad = int(np.argwhere(~np.isfinite(panel))[0, 1])
+        gcol = part.start(K) + min(bad, bs - 1)
+        raise SingularMatrixError(
+            f"non-finite entries in factored panel {K} "
+            f"(first in global column {gcol}); matrix is numerically "
+            "singular for this pivoting policy",
+            pivot_index=gcol,
+        )
 
     # scatter the panel back into the blocks
     off = 0

@@ -16,6 +16,12 @@ from .buffers import buffer_requirements, BufferReport
 from .trisolve import run_1d_trisolve, TriSolveResult
 from .shared_memory import sstar_factor_threads
 from .trisolve2d import run_2d_trisolve, TriSolve2DResult
+from .resilience import (
+    run_1d_resilient,
+    run_2d_resilient,
+    ResilientResult,
+    RoundInfo,
+)
 
 __all__ = [
     "Grid2D",
@@ -31,4 +37,8 @@ __all__ = [
     "sstar_factor_threads",
     "run_2d_trisolve",
     "TriSolve2DResult",
+    "run_1d_resilient",
+    "run_2d_resilient",
+    "ResilientResult",
+    "RoundInfo",
 ]

@@ -47,16 +47,25 @@ class OneDResult:
 
 
 def _distribute_1d(
-    A: CSRMatrix, part: BlockPartition, bstruct: BlockStructure, owner, nprocs: int
+    A: CSRMatrix, part: BlockPartition, bstruct: BlockStructure, owner, nprocs: int,
+    full: BlockLUMatrix = None,
 ):
-    """Build per-rank BlockLUMatrix holding only owned block columns."""
-    full = BlockLUMatrix.from_csr(A, part, bstruct)
+    """Build per-rank BlockLUMatrix holding only owned block columns.
+
+    ``full`` lets checkpoint/restart redistribute an existing (partially
+    factored) matrix instead of the original ``A``.
+    """
+    if full is None:
+        full = BlockLUMatrix.from_csr(A, part, bstruct)
     locals_ = []
     for p in range(nprocs):
         m = BlockLUMatrix(part, bstruct)
         locals_.append(m)
     for (I, J), blk in full.blocks.items():
         locals_[int(owner[J])].blocks[(I, J)] = blk
+    for K, seq in enumerate(full.pivot_seq):
+        if seq is not None:
+            locals_[int(owner[K])].pivot_seq[K] = seq
     return locals_
 
 
@@ -80,12 +89,16 @@ def _rank_program(env, ctx):
     tg: TaskGraph = ctx["tg"]
     m: BlockLUMatrix = ctx["locals"][env.rank]
     broadcast = ctx["broadcast"]
+    # checkpoint/restart runs a window of elimination stages [k0, k1) per
+    # round; a task's stage is its source column k (task[1])
+    k0, k1 = ctx.get("stage_range", (0, len(schedule.owner)))
     received = {}
     seen = set()  # every column ever received (incl. later-freed buffers)
     buffer_bytes = 0
     high_water = 0
 
-    for task in schedule.proc_tasks[env.rank]:
+    my_tasks = [t for t in schedule.proc_tasks[env.rank] if k0 <= t[1] < k1]
+    for task in my_tasks:
         t0 = env.clock
         if task[0] == FACTOR:
             k = task[1]
@@ -93,6 +106,7 @@ def _rank_program(env, ctx):
             fc = factor_block_column(
                 m, k, counter=env.counter,
                 pivot_threshold=ctx["pivot_threshold"],
+                monitor=ctx.get("monitor"),
             )
             env.compute_counted(snap)
             env.span(f"F{k}", t0)
@@ -133,9 +147,7 @@ def _rank_program(env, ctx):
             if int(schedule.owner[k]) != env.rank:
                 later = any(
                     t[0] == UPDATE and t[1] == k
-                    for t in schedule.proc_tasks[env.rank][
-                        schedule.proc_tasks[env.rank].index(task) + 1 :
-                    ]
+                    for t in my_tasks[my_tasks.index(task) + 1 :]
                 )
                 if not later and k in received:
                     buffer_bytes -= received.pop(k).nbytes()
@@ -143,7 +155,7 @@ def _rank_program(env, ctx):
         # CA broadcasts *every* factored column to every processor; drain
         # the ones this rank never consumed (the Cbuffer free of the real
         # code) so no message is left undelivered at exit
-        for k in range(len(schedule.owner)):
+        for k in range(k0, k1):
             if int(schedule.owner[k]) != env.rank and k not in seen:
                 yield env.recv(("col", k))
     return {"pivot_seq": m.pivot_seq, "high_water": high_water}
@@ -159,13 +171,23 @@ def run_1d(
     tg: TaskGraph = None,
     pivot_threshold: float = 1.0,
     sim_opts: dict = None,
+    stage_range: tuple = None,
+    start_from: BlockLUMatrix = None,
+    monitor=None,
 ) -> OneDResult:
     """Run the 1D parallel factorization of an ordered matrix ``A``.
 
     ``method`` is ``"rapid"`` (graph scheduling + consumer multicast) or
     ``"ca"`` (cyclic mapping, Fig. 10 order, broadcast).  ``sim_opts`` are
-    forwarded to :class:`repro.machine.Simulator` (e.g. ``trace=True`` or
-    ``host_order=...`` for the :mod:`repro.verify` checkers).
+    forwarded to :class:`repro.machine.Simulator` (e.g. ``trace=True``,
+    ``host_order=...``, ``faults=...`` or ``reliable=...``).
+
+    Checkpoint/restart (:mod:`repro.parallel.resilience`) passes
+    ``stage_range=(k0, k1)`` to execute only elimination stages in the
+    window and ``start_from`` (a partially factored merged matrix) to
+    resume from a checkpoint instead of the original ``A``.  ``monitor``
+    is an optional :class:`repro.numfact.PivotMonitor` shared by all
+    ranks for pivot-growth tracking and tiny-pivot perturbation.
     """
     if tg is None:
         tg = build_task_graph(bstruct)
@@ -178,14 +200,17 @@ def run_1d(
     else:
         raise ValueError(f"unknown 1D method {method!r}")
 
-    locals_ = _distribute_1d(A, part, bstruct, schedule.owner, nprocs)
+    locals_ = _distribute_1d(A, part, bstruct, schedule.owner, nprocs, full=start_from)
     ctx = {
         "schedule": schedule,
         "tg": tg,
         "locals": locals_,
         "broadcast": broadcast,
         "pivot_threshold": pivot_threshold,
+        "monitor": monitor,
     }
+    if stage_range is not None:
+        ctx["stage_range"] = stage_range
     sim = Simulator(nprocs, spec, _rank_program, args=(ctx,), **(sim_opts or {})).run()
 
     # merge the distributed factor back into one BlockLUMatrix for solving
@@ -193,8 +218,10 @@ def run_1d(
     for m in locals_:
         merged.blocks.update(m.blocks)
     for p, ret in enumerate(sim.returns):
+        if ret is None:  # rank crashed; its state is on the restart path
+            continue
         for K, seq in enumerate(ret["pivot_seq"]):
             if seq is not None:
                 merged.pivot_seq[K] = seq
-    high = [ret["high_water"] for ret in sim.returns]
+    high = [ret["high_water"] if ret is not None else 0 for ret in sim.returns]
     return OneDResult(sim=sim, schedule=schedule, factor=merged, buffer_high_water=high)

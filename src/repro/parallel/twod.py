@@ -65,8 +65,9 @@ class TwoDResult:
         return best
 
 
-def _distribute_2d(A, part, bstruct, grid: Grid2D):
-    full = BlockLUMatrix.from_csr(A, part, bstruct)
+def _distribute_2d(A, part, bstruct, grid: Grid2D, full: BlockLUMatrix = None):
+    if full is None:
+        full = BlockLUMatrix.from_csr(A, part, bstruct)
     locals_ = [dict() for _ in range(grid.nprocs)]
     for (I, J), blk in full.blocks.items():
         locals_[grid.owner_of_block(I, J)][(I, J)] = blk
@@ -133,6 +134,7 @@ def _rank_program_2d(env, ctx):
     blocks: dict = ctx["locals"][env.rank]
     synchronous: bool = ctx["synchronous"]
     pivot_threshold: float = ctx["pivot_threshold"]
+    monitor = ctx.get("monitor")
     r, c = grid.coords(env.rank)
     pr, pc = grid.pr, grid.pc
     N = part.N
@@ -184,7 +186,14 @@ def _rank_program_2d(env, ctx):
                     if a > g_abs or (a == g_abs and p != -1 and (g_pos == -1 or p < g_pos)):
                         g_abs, g_pos, g_row = a, p, row
                 if g_pos == -1 or g_abs == 0.0:
-                    raise SingularMatrixError(f"no nonzero pivot for column {gm}")
+                    if monitor is None or not monitor.perturb:
+                        raise SingularMatrixError(
+                            f"no nonzero pivot for column {gm}", pivot_index=gm
+                        )
+                    # numerically dead column: keep the diagonal position and
+                    # let the monitor perturb its value below
+                    g_pos = gm
+                    g_row = blocks[(K, K)][m]
                 dval = blocks[(K, K)][m, m]
                 if (
                     pivot_threshold < 1.0
@@ -196,6 +205,14 @@ def _rank_program_2d(env, ctx):
                     g_row = blocks[(K, K)][m]
                 t_pos = g_pos
                 piv_row = np.array(g_row, copy=True)
+                if monitor is not None:
+                    new = monitor.consider(gm, float(piv_row[m]))
+                    if new != piv_row[m]:
+                        piv_row[m] = new
+                        if int(t_pos) == gm:
+                            # no interchange will write piv_row back; patch
+                            # the stored diagonal directly
+                            blocks[(K, K)][m, m] = new
                 # old row m is local to the diagonal owner
                 dblk = blocks[(K, K)]
                 old_row = dblk[m].copy()
@@ -316,8 +333,11 @@ def _rank_program_2d(env, ctx):
             env.span(f"U2D{K}", t0)
 
     # ---- main loop (Fig. 12) ---------------------------------------------
+    # checkpoint/restart runs a window of elimination stages [k_lo, k_hi)
+    # per round; the full run is the single window [0, N)
+    k_lo, k_hi = ctx.get("stage_range", (0, N))
     if synchronous:
-        for k in range(N):
+        for k in range(k_lo, k_hi):
             if c == k % pc:
                 yield from factor(k)
             yield from scaleswap(k)
@@ -326,9 +346,9 @@ def _rank_program_2d(env, ctx):
                     update(k, j)
             yield env.barrier()
     else:
-        if c == 0 % pc:
-            yield from factor(0)
-        for k in range(N - 1):
+        if c == k_lo % pc:
+            yield from factor(k_lo)
+        for k in range(k_lo, k_hi - 1):
             yield from scaleswap(k)
             if (k + 1) % pc == c:
                 update(k, k + 1)
@@ -336,10 +356,20 @@ def _rank_program_2d(env, ctx):
             for j in my_cols:
                 if j > k + 1:
                     update(k, j)
+        if k_hi < N:
+            # window boundary: finish stage k_hi-1 completely (its Factor
+            # already ran; ScaleSwap + every trailing update) so the merged
+            # state is a consistent checkpoint.  Factor(k_hi) belongs to
+            # the next round.
+            k = k_hi - 1
+            yield from scaleswap(k)
+            for j in my_cols:
+                if j > k:
+                    update(k, j)
         # ScaleSwap(N-1) never runs in the pipelined loop, but Factor(N-1)
         # still multicast its L panel along the processor rows; drain it so
         # no message is left undelivered at exit (the Cbuffer free)
-        if N >= 1 and c != (N - 1) % pc:
+        elif N >= 1 and c != (N - 1) % pc:
             lcol_cache[N - 1] = yield env.recv(("lcol", N - 1))
     return {
         "pivot_seq": pivseqs,
@@ -357,17 +387,23 @@ def run_2d(
     grid: Grid2D = None,
     pivot_threshold: float = 1.0,
     sim_opts: dict = None,
+    stage_range: tuple = None,
+    start_from: BlockLUMatrix = None,
+    monitor=None,
 ) -> TwoDResult:
     """Run the 2D parallel factorization of an ordered matrix ``A``.
 
     ``sim_opts`` are forwarded to :class:`repro.machine.Simulator` (e.g.
-    ``trace=True`` / ``host_order=...`` for :mod:`repro.verify`).
+    ``trace=True`` / ``host_order=...`` / ``faults=...`` /
+    ``reliable=...``).  Checkpoint/restart passes ``stage_range=(k0, k1)``
+    and ``start_from`` (a partially factored merged matrix); ``monitor``
+    is an optional :class:`repro.numfact.PivotMonitor`.
     """
     if grid is None:
         grid = Grid2D.preferred(nprocs)
     if grid.nprocs != nprocs:
         raise ValueError("grid size does not match nprocs")
-    locals_ = _distribute_2d(A, part, bstruct, grid)
+    locals_ = _distribute_2d(A, part, bstruct, grid, full=start_from)
     ctx = {
         "grid": grid,
         "part": part,
@@ -375,7 +411,10 @@ def run_2d(
         "locals": locals_,
         "synchronous": synchronous,
         "pivot_threshold": pivot_threshold,
+        "monitor": monitor,
     }
+    if stage_range is not None:
+        ctx["stage_range"] = stage_range
     sim = Simulator(
         grid.nprocs, spec, _rank_program_2d, args=(ctx,), **(sim_opts or {})
     ).run()
@@ -383,8 +422,14 @@ def run_2d(
     merged = BlockLUMatrix(part, bstruct)
     for d in locals_:
         merged.blocks.update(d)
+    if start_from is not None:
+        for K, seq in enumerate(start_from.pivot_seq):
+            if seq is not None:
+                merged.pivot_seq[K] = seq
     spans = []
     for ret in sim.returns:
+        if ret is None:  # rank crashed; its state is on the restart path
+            continue
         spans.extend(ret["update_spans"])
         for K, seq in enumerate(ret["pivot_seq"]):
             if seq is not None:

@@ -35,7 +35,9 @@ def trace_checked_simulations(check_leaks: bool = True):
         if self.trace is None:
             self.trace = SimTrace()
         result = orig_run(self)
-        violations = check_messages(self.trace, spec=self.spec)
+        violations = check_messages(
+            self.trace, spec=self.spec, crashed=getattr(result, "crashed", ())
+        )
         if not check_leaks:
             violations = [v for v in violations if v.rule != "LEAK"]
         if violations:

@@ -75,14 +75,32 @@ class TraceCheckReport:
 # -- message-level checks ---------------------------------------------------
 
 
-def check_messages(trace, spec=None) -> list:
-    """UNIQUE / LEAK / CAUSAL checks over a :class:`SimTrace`."""
+def _logical_id(record):
+    """Logical transfer id: retransmissions and fault-injected duplicates of
+    one ``send`` share it.  Legacy records (``logical=None``) fall back to
+    their seq, i.e. every record is its own logical transfer."""
+    logical = getattr(record, "logical", None)
+    return record.seq if logical is None else logical
+
+
+def check_messages(trace, spec=None, crashed=()) -> list:
+    """UNIQUE / LEAK / CAUSAL checks over a :class:`SimTrace`.
+
+    Fault-injection aware: records of the *same* logical transfer (the
+    retry protocol's retransmits, or a fault-injected duplicate) do not
+    trip the tag-uniqueness rule, but two distinct logical transfers on one
+    ``(dest, tag)`` still do.  Dropped transmissions, unconsumed duplicate
+    copies, and messages addressed to a rank in ``crashed`` are not leaks.
+    """
     violations = []
-    seen = {}
+    crashed = set(crashed)
+    seen = {}  # (dest, tag) -> first record
     for r in trace.records:
         key = (r.dest, _hashable(r.tag))
         if key in seen:
             first = seen[key]
+            if _logical_id(first) == _logical_id(r):
+                continue  # retransmit or duplicated copy of the same send
             violations.append(Violation(
                 "UNIQUE",
                 f"tag collision on (dest={r.dest}, tag={r.tag!r}): sent by "
@@ -92,6 +110,10 @@ def check_messages(trace, spec=None) -> list:
         else:
             seen[key] = r
     for r in trace.undelivered():
+        if getattr(r, "dropped", False) or getattr(r, "duplicate", False):
+            continue  # never deposited / extra copy the receiver ignores
+        if r.dest in crashed:
+            continue  # the receiver died; nobody is left to consume it
         violations.append(Violation(
             "LEAK",
             f"message (dest={r.dest}, tag={r.tag!r}) from rank {r.src} "
@@ -225,7 +247,9 @@ def check_run(result, spec=None, tg=None, schedule=None) -> TraceCheckReport:
         ))
         return report
     report.stats["messages"] = len(result.trace.records)
-    report.violations.extend(check_messages(result.trace, spec=spec))
+    report.violations.extend(check_messages(
+        result.trace, spec=spec, crashed=getattr(result, "crashed", ())
+    ))
     if tg is not None:
         vs, checked = check_spans_against_dag(result.spans, tg, schedule=schedule)
         report.violations.extend(vs)

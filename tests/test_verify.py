@@ -257,6 +257,103 @@ class TestDagConformance:
         assert any("twice" in v.message for v in vs)
 
 
+class TestRetransmitAwareness:
+    """UNIQUE must tell retransmissions (same logical message resent by the
+    reliable transport) apart from genuine tag reuse (distinct messages)."""
+
+    def _rec(self, seq, logical, consumed=True, **kw):
+        fields = dict(
+            seq=seq, src=0, dest=1, tag=("t", 0), send_clock=0.0,
+            arrival=1.0, nbytes=8, consumed=consumed, logical=logical,
+        )
+        fields.update(kw)
+        if consumed and "recv_time" not in kw:
+            fields["recv_time"] = fields["arrival"]
+        return MessageRecord(**fields)
+
+    def test_retransmit_copies_are_not_a_collision(self):
+        # two wire copies of one logical send: the first was dropped, the
+        # retry got through — same (dest, tag) twice but NOT tag reuse
+        trace = SimTrace(records=[
+            self._rec(1, logical=1, consumed=False, dropped=True),
+            self._rec(2, logical=1, attempt=1),
+        ])
+        assert check_messages(trace, spec=GENERIC) == []
+
+    def test_genuine_tag_reuse_still_flagged(self):
+        # distinct logical messages on the same (dest, tag): a real
+        # collision that retransmission-awareness must not excuse
+        trace = SimTrace(records=[
+            self._rec(1, logical=1),
+            self._rec(2, logical=2, send_clock=0.5, arrival=1.5),
+        ])
+        vs = check_messages(trace, spec=GENERIC)
+        assert [v.rule for v in vs] == ["UNIQUE"]
+
+    def test_legacy_traces_fall_back_to_seq(self):
+        # records without a logical id (pre-fault-injection traces) keep
+        # the old per-record semantics
+        trace = SimTrace(records=[
+            self._rec(1, logical=None),
+            self._rec(2, logical=None, send_clock=0.5, arrival=1.5),
+        ])
+        vs = check_messages(trace, spec=GENERIC)
+        assert [v.rule for v in vs] == ["UNIQUE"]
+
+    def test_dropped_and_duplicate_copies_are_not_leaks(self):
+        trace = SimTrace(records=[
+            self._rec(1, logical=1, consumed=False, dropped=True),
+            self._rec(2, logical=1, attempt=1),
+            self._rec(3, logical=2, tag=("u", 0), send_clock=2.0,
+                      arrival=3.0, recv_time=3.0),
+            self._rec(4, logical=2, tag=("u", 0), consumed=False,
+                      duplicate=True, send_clock=2.0, arrival=3.1),
+        ])
+        assert check_messages(trace, spec=GENERIC) == []
+
+    def test_undelivered_to_crashed_rank_excused(self):
+        rec = self._rec(1, logical=1, consumed=False)
+        trace = SimTrace(records=[rec])
+        assert [v.rule for v in check_messages(trace, spec=GENERIC)] == ["LEAK"]
+        assert check_messages(trace, spec=GENERIC, crashed=(1,)) == []
+
+    def test_real_faulty_run_passes_unique(self):
+        from repro.machine import FaultPlan
+
+        def prog(env):
+            if env.rank == 0:
+                for k in range(8):
+                    env.send(1, ("col", k), float(k))
+            else:
+                for k in range(8):
+                    v = yield env.recv(("col", k))
+                    assert v == float(k)
+
+        res = run_traced(2, prog, faults=FaultPlan.drops(0.3, seed=4),
+                         reliable=True)
+        assert res.fault_stats.retransmits >= 1
+        assert check_messages(res.trace, spec=GENERIC) == []
+
+    def test_crashed_run_trace_excuses_dead_rank(self):
+        from repro.machine import FaultPlan, RankCrashedError
+
+        def prog(env):
+            if env.rank == 0:
+                env.send(1, ("x", 0), 1.0)
+                yield env.recv(("reply", 0))
+            else:
+                got = yield env.recv(("x", 0))
+                env.send(0, ("reply", 0), got)
+
+        with pytest.raises(RankCrashedError):
+            Simulator(2, GENERIC, prog, trace=True,
+                      faults=FaultPlan().with_crash(1, 0.0)).run()
+        # the in-flight message to the dead rank is excused by `crashed`
+        rec = self._rec(1, logical=1, consumed=False)
+        assert check_messages(SimTrace(records=[rec]), spec=GENERIC,
+                              crashed=(1,)) == []
+
+
 # ---------------------------------------------------------------------------
 # determinism replay
 # ---------------------------------------------------------------------------
