@@ -9,6 +9,11 @@ partitioning) is done once, and each Newton step only re-runs the numeric
 factorization — impossible for dynamic-symbolic codes, which must redo
 symbolic work every time pivoting changes.
 
+The serving layer packages the idiom: ``SStarSolver.refactor`` pulls the
+cached analysis out of an ``AnalysisCache`` keyed on the pattern and jumps
+straight to the numeric sweep, handling the permutation bookkeeping that
+the first version of this example did by hand.
+
 Run:  python examples/reservoir_simulation.py
 """
 
@@ -16,20 +21,16 @@ import time
 
 import numpy as np
 
+from repro.api import SStarSolver
 from repro.matrices import stencil_3d
-from repro.numfact import sstar_factor
-from repro.ordering import prepare_matrix
-from repro.sparse import csr_matvec, CSRMatrix, coo_to_csr, csr_to_coo
-from repro.supernodes import build_partition
-from repro.symbolic import static_symbolic_factorization
+from repro.service import AnalysisCache
+from repro.sparse import csr_matvec, CSRMatrix
 
 
 def perturb_values(A: CSRMatrix, step: int) -> CSRMatrix:
     """New Newton-step Jacobian: same pattern, perturbed coefficients."""
     rng = np.random.default_rng(1000 + step)
-    rows, cols, vals = csr_to_coo(A)
-    vals = vals * (1.0 + 0.05 * rng.uniform(-1, 1, len(vals)))
-    return coo_to_csr(A.nrows, A.ncols, rows, cols, vals)
+    return A.with_values(A.data * (1.0 + 0.05 * rng.uniform(-1, 1, A.nnz)))
 
 
 def main():
@@ -39,38 +40,38 @@ def main():
     print(f"reservoir grid {nx}x{ny}x{nz}, {ndof} unknowns/cell -> n = {n}")
 
     # --- one-off structure phase -------------------------------------
+    cache = AnalysisCache()
     t0 = time.perf_counter()
-    om = prepare_matrix(A0)
-    sym = static_symbolic_factorization(om.A)
-    part = build_partition(sym, max_size=25, amalgamation=4)
-    t_struct = time.perf_counter() - t0
-    print(f"structure phase: {t_struct*1e3:.1f} ms "
-          f"({sym.factor_entries} predicted factor entries, {part.N} blocks)")
+    solver = SStarSolver(analysis_cache=cache).factor(A0)
+    t_cold = time.perf_counter() - t0
+    print(f"cold factor (analysis + numeric): {t_cold*1e3:.1f} ms "
+          f"({solver.report.factor_entries} factor entries, "
+          f"{solver.report.supernode_blocks} blocks)")
 
     # --- Newton iteration: re-factor values on the fixed structure ----
     state = np.zeros(n)
     for step in range(4):
-        Ak_orig = perturb_values(A0, step)
-        # apply the *same* permutations computed once
-        Ak = Ak_orig.permute(row_perm=om.row_perm, col_perm=om.col_perm)
+        Ak = perturb_values(A0, step)
         t0 = time.perf_counter()
-        lu = sstar_factor(Ak, sym=sym, part=part)
+        solver = SStarSolver(analysis_cache=cache).refactor(Ak)
         t_num = time.perf_counter() - t0
+        assert solver.report.analysis_reused
 
-        b = csr_matvec(Ak_orig, np.ones(n)) + 0.1 * state
-        z = lu.solve(b[om.row_perm])
-        x = np.empty(n)
-        x[om.col_perm] = z
-        resid = np.linalg.norm(csr_matvec(Ak_orig, x) - b) / np.linalg.norm(b)
+        b = csr_matvec(Ak, np.ones(n)) + 0.1 * state
+        x = solver.solve(b)
+        resid = np.linalg.norm(csr_matvec(Ak, x) - b) / np.linalg.norm(b)
         state = x
         print(
-            f"  newton step {step}: numeric factor {t_num*1e3:7.1f} ms, "
-            f"DGEMM share {lu.counter.fraction('dgemm'):.0%}, "
+            f"  newton step {step}: numeric refactor {t_num*1e3:7.1f} ms "
+            f"({t_cold/t_num:4.1f}x vs cold), "
+            f"DGEMM share {solver.report.dgemm_fraction:.0%}, "
             f"residual {resid:.2e}"
         )
         assert resid < 1e-9
 
-    print("pattern reused across all steps; only values were refactored.")
+    s = cache.stats
+    print(f"pattern reused across all steps ({s.hits} cache hits); "
+          "only values were refactored.")
 
 
 if __name__ == "__main__":

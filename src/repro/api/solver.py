@@ -19,6 +19,7 @@ undone transparently, so ``solve`` works in the caller's coordinates.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -30,10 +31,7 @@ from ..numfact import (
     matrix_maxnorm,
     sstar_factor,
 )
-from ..ordering import prepare_matrix
 from ..sparse import CSRMatrix, dense_to_csr
-from ..supernodes import build_partition, build_block_structure
-from ..symbolic import static_symbolic_factorization
 
 _MACHINES = {"T3D": T3D, "T3E": T3E, "GENERIC": GENERIC}
 
@@ -48,13 +46,14 @@ class FactorizationReport:
     supernode_blocks: int
     flops: float
     dgemm_fraction: float
-    parallel_seconds: float = None  # simulated; None for sequential
+    parallel_seconds: Optional[float] = None  # simulated; None for sequential
     nprocs: int = 1
     messages: int = 0
     bytes_sent: int = 0
-    growth_factor: float = None  # max |pivot| / max |A_ij| (monitored runs)
+    growth_factor: Optional[float] = None  # max |pivot| / max |A_ij| (monitored runs)
     perturbed_pivots: int = 0  # tiny pivots statically perturbed
     restarts: int = 0  # crashed-and-discarded checkpoint rounds
+    analysis_reused: bool = False  # refactor hit cached symbolic state
 
 
 class SStarSolver:
@@ -97,6 +96,15 @@ class SStarSolver:
     ckpt_interval:
         Stages per checkpoint round for crash recovery (default 4 when a
         crash plan forces the resilient path).
+    analysis_cache:
+        Optional :class:`repro.service.AnalysisCache`.  ``factor`` stores
+        its analyze-phase artifacts there; ``refactor`` reuses any cached
+        same-pattern artifacts and skips the analyze phase entirely.
+    growth_limit:
+        Pivot-growth ceiling for cache invalidation: a monitored
+        factorization whose growth factor exceeds this (or that had to
+        perturb pivots) drops the pattern's cache entry, forcing the next
+        factorization to re-derive the analysis.
     """
 
     def __init__(
@@ -113,7 +121,9 @@ class SStarSolver:
         refine_tol: float = 1e-8,
         faults=None,
         reliable=None,
-        ckpt_interval: int = None,
+        ckpt_interval: Optional[int] = None,
+        analysis_cache=None,
+        growth_limit: float = 1e8,
     ):
         self.block_size = block_size
         self.amalgamation = amalgamation
@@ -134,9 +144,12 @@ class SStarSolver:
         self.spec = (
             machine if isinstance(machine, MachineSpec) else _MACHINES[machine.upper()]
         )
+        self.analysis_cache = analysis_cache
+        self.growth_limit = growth_limit
         self._lu: LUFactorization = None
         self._om = None
         self._A: CSRMatrix = None
+        self._artifacts = None  # AnalysisArtifacts of the last analyze phase
         self.monitor: PivotMonitor = None
         self.report: FactorizationReport = None
         self.sim_result = None
@@ -149,17 +162,58 @@ class SStarSolver:
         """Order + symbolically and numerically factor ``A``.
 
         ``A`` may be a :class:`repro.sparse.CSRMatrix` or a dense ndarray.
+        Always runs the full analyze phase; when an ``analysis_cache`` is
+        attached the resulting artifacts are stored for later
+        :meth:`refactor` calls.
         """
+        return self._factor_impl(A, reuse=False)
+
+    def refactor(self, A) -> "SStarSolver":
+        """Numerically re-factor a matrix sharing a previously analyzed
+        nonzero pattern, skipping the analyze phase.
+
+        The cached transversal / min-degree ordering / symbolic
+        factorization / supernode partition are pattern-only and remain
+        exactly valid for any same-pattern matrix (George–Ng bounds the
+        fill of every pivot sequence), so only the numeric Factor/Update
+        sweep — with fresh partial pivoting on the new values — runs.
+        Artifacts come from the attached ``analysis_cache`` or, failing
+        that, this solver's own last analysis; an unknown pattern falls
+        back to a full :meth:`factor` (and populates the cache).
+
+        The factorization is bit-identical to a cold ``factor(A)`` of the
+        same matrix: both paths derive identical permutations and block
+        structure from the pattern, and the numeric sweep is deterministic.
+        """
+        return self._factor_impl(A, reuse=True)
+
+    def _analyze(self, A, reuse: bool):
+        """Produce (artifacts, ordered matrix, reused flag), consulting the
+        cache / prior state when ``reuse`` is requested."""
+        from ..service.cache import analyze, pattern_key
+
+        key = pattern_key(A)
+        cache_key = (key, self.block_size, self.amalgamation)
+        if reuse:
+            art = (
+                self.analysis_cache.get(cache_key)
+                if self.analysis_cache is not None
+                else None
+            )
+            if art is None and self._artifacts is not None and self._artifacts.key == key:
+                art = self._artifacts
+            if art is not None:
+                return art, art.order(A), cache_key, True
+        art, om = analyze(A, self.block_size, self.amalgamation)
+        return art, om, cache_key, False
+
+    def _factor_impl(self, A, reuse: bool) -> "SStarSolver":
         if isinstance(A, np.ndarray):
             A = dense_to_csr(A)
         if not isinstance(A, CSRMatrix):
             raise TypeError("A must be a CSRMatrix or dense ndarray")
-        om = prepare_matrix(A)
-        sym = static_symbolic_factorization(om.A)
-        part = build_partition(
-            sym, max_size=self.block_size, amalgamation=self.amalgamation
-        )
-        bstruct = build_block_structure(sym, part)
+        art, om, cache_key, reused = self._analyze(A, reuse)
+        sym, part, bstruct = art.sym, art.part, art.bstruct
 
         monitor = None
         if self.backend == "blocks":
@@ -192,7 +246,7 @@ class SStarSolver:
                 )
             elif self.backend == "blocks":
                 lu = sstar_factor(
-                    om.A, sym=sym, part=part,
+                    om.A, sym=sym, part=part, bstruct=bstruct,
                     pivot_threshold=self.pivot_threshold,
                     monitor=monitor,
                 )
@@ -260,6 +314,19 @@ class SStarSolver:
         self._lu = lu
         self._om = om
         self._A = A
+        self._artifacts = art
+        if self.analysis_cache is not None:
+            growth = monitor.growth_factor if monitor is not None else None
+            numerics_broke = monitor is not None and (
+                bool(monitor.perturbations)
+                or (growth is not None and growth > self.growth_limit)
+            )
+            if numerics_broke:
+                # the static-structure assumption is doing real numerical
+                # work for this pattern: force a fresh analysis next time
+                self.analysis_cache.invalidate(cache_key)
+            else:
+                self.analysis_cache.put(cache_key, art)
         self.report = FactorizationReport(
             n=A.nrows,
             nnz=A.nnz,
@@ -274,6 +341,7 @@ class SStarSolver:
             growth_factor=monitor.growth_factor if monitor is not None else None,
             perturbed_pivots=len(monitor.perturbations) if monitor is not None else 0,
             restarts=restarts,
+            analysis_reused=reused,
         )
         return self
 
@@ -288,22 +356,47 @@ class SStarSolver:
     def solve(self, b: np.ndarray) -> np.ndarray:
         """Solve ``A x = b`` in the caller's original coordinates.
 
+        ``b`` may be a single right-hand side ``(n,)`` or a block
+        ``(n, k)`` of right-hand sides (so ``(n, 1)`` is just the block
+        form with one column); the returned ``x`` matches ``b``'s shape.
+        Block solves run the triangular sweeps once with BLAS-3 panels,
+        amortising the factorization across all ``k`` systems.
+
         When pivots were perturbed (``perturb=True`` met tiny pivots) or
         ``refine="always"``, the direct solve against the factorization of
         the perturbed matrix is corrected by iterative refinement on the
-        *original* ``A``; if the refined backward error does not reach
-        ``refine_tol`` a :class:`repro.numfact.NumericalError` is raised
-        instead of returning an unusable solution.
+        *original* ``A`` (column by column for block right-hand sides); if
+        the refined backward error does not reach ``refine_tol`` a
+        :class:`repro.numfact.NumericalError` is raised instead of
+        returning an unusable solution.
         """
         if self._lu is None:
             raise RuntimeError("call factor(A) first")
         b = np.asarray(b, dtype=np.float64)
+        if b.ndim not in (1, 2) or b.shape[0] != self._lu.n:
+            raise ValueError(
+                f"rhs must have shape ({self._lu.n},) or ({self._lu.n}, k); "
+                f"got {b.shape}"
+            )
         perturbed = self.monitor is not None and bool(self.monitor.perturbations)
         want_refine = self.refine == "always" or (
             self.refine == "auto" and perturbed
         )
-        if not want_refine or b.ndim != 1:
+        if not want_refine:
             return self._solve_once(b)
+        if b.ndim == 2:
+            x = np.empty_like(b)
+            histories = []
+            for j in range(b.shape[1]):
+                x[:, j] = self._refined_solve(b[:, j], histories)
+            self.refine_history = histories
+            return x
+        histories = []
+        x = self._refined_solve(b, histories)
+        self.refine_history = histories[0]
+        return x
+
+    def _refined_solve(self, b: np.ndarray, histories: list) -> np.ndarray:
         from ..analysis.stability import iterative_refinement
 
         x, history = iterative_refinement(
@@ -318,7 +411,7 @@ class SStarSolver:
                 backward_error=float(berr),
                 iterations=len(history) - 1,
             )
-        self.refine_history = history
+        histories.append(history)
         return x
 
     @property

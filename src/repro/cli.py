@@ -10,6 +10,8 @@ Commands
 ``simulate``   run a parallel factorization on the simulated T3D/T3E
 ``validate``   run the full invariant battery on a matrix
 ``verify-comm`` static + dynamic + replay communication-protocol analyses
+``serve-demo`` run a synthetic workload through the SolveService front end
+``bench-service`` cold factor vs cached refactor vs batched-RHS timings
 ``suite``      list the built-in suite matrices
 """
 
@@ -378,6 +380,118 @@ def cmd_verify_comm(args) -> int:
     return 0 if failures == 0 else 1
 
 
+def _perturbed(A, rng, rel=0.05):
+    """Same pattern as ``A``, values jittered by ``rel`` (fresh arrays)."""
+    return A.with_values(A.data * (1.0 + rel * rng.uniform(-1.0, 1.0, A.nnz)))
+
+
+def cmd_serve_demo(args) -> int:
+    from .matrices import get_matrix
+    from .service import ServiceOverloadError, SolveService
+    from .sparse import csr_matvec
+
+    rng = np.random.default_rng(args.seed)
+    patterns = [get_matrix(name, "small") for name in
+                ["sherman5", "jpwh991", "orsreg1"][: args.patterns]]
+    svc = SolveService(
+        workers=args.workers,
+        max_queue=args.max_queue,
+        max_batch=args.max_batch,
+        inter_arrival=args.inter_arrival,
+    )
+    print(f"SolveService: {args.workers} workers, queue bound "
+          f"{args.max_queue}, {args.patterns} distinct structure(s), "
+          f"{args.jobs} jobs")
+    submitted, rejected = [], 0
+    j = 0
+    while j < args.jobs:
+        # jobs inside a burst share one system (adjacent submissions, so
+        # they coalesce into one multi-RHS batch); each new burst switches
+        # pattern and perturbs the values
+        pat = (j // args.burst) % len(patterns)
+        A = _perturbed(patterns[pat], rng)
+        for _ in range(min(args.burst, args.jobs - j)):
+            b = (rng.uniform(-1, 1, A.nrows) if args.nrhs == 1
+                 else rng.uniform(-1, 1, (A.nrows, args.nrhs)))
+            try:
+                submitted.append(svc.submit(A, b))
+            except ServiceOverloadError:
+                # shed load, drain, then re-admit this job
+                rejected += 1
+                svc.drain()
+                submitted.append(svc.submit(A, b))
+            j += 1
+    svc.drain()
+    worst = 0.0
+    for jid in submitted:
+        job = svc.job(jid)
+        X = job.x if job.x.ndim == 2 else job.x[:, None]
+        B = job.b if job.b.ndim == 2 else job.b[:, None]
+        for j in range(X.shape[1]):
+            r = csr_matvec(job.A, X[:, j]) - B[:, j]
+            worst = max(worst, float(np.max(np.abs(r))))
+    m = svc.metrics()
+    print(f"completed/failed   : {m.jobs_completed}/{m.jobs_failed} "
+          f"({rejected} backpressured then re-admitted)")
+    print(f"batches            : {m.batches} ({m.batched_jobs} jobs rode in "
+          f"multi-RHS batches)")
+    print(f"analysis cache     : {m.cache_hits} hits / {m.cache_misses} "
+          f"misses (hit rate {m.cache_hit_rate:.0%})")
+    print(f"queue depth        : max {m.max_queue_depth} (bound {args.max_queue})")
+    print(f"latency p50 / p95  : {m.latency_p50:.6f} / {m.latency_p95:.6f} s "
+          "(virtual)")
+    print(f"throughput         : {m.throughput_jobs_per_s:.1f} jobs/s over "
+          f"{m.makespan:.6f} s makespan")
+    print(f"worst |Ax-b| entry : {worst:.3e}")
+    return 0 if m.jobs_failed == 0 else 1
+
+
+def cmd_bench_service(args) -> int:
+    import time
+
+    from .api import SStarSolver
+    from .matrices import get_matrix
+    from .service import AnalysisCache
+
+    A = _load(args.matrix) if args.matrix else get_matrix(args.name, "small")
+    rng = np.random.default_rng(args.seed)
+    cache = AnalysisCache()
+    SStarSolver(analysis_cache=cache).factor(A)  # prime the cache
+
+    t_cold = t_warm = 0.0
+    for _ in range(args.repeats):
+        Ai = _perturbed(A, rng)
+        t0 = time.perf_counter()
+        SStarSolver().factor(Ai)
+        t_cold += time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm = SStarSolver(analysis_cache=cache).refactor(Ai)
+        t_warm += time.perf_counter() - t0
+        assert warm.report.analysis_reused
+    t_cold /= args.repeats
+    t_warm /= args.repeats
+
+    solver = SStarSolver(analysis_cache=cache).refactor(_perturbed(A, rng))
+    B = rng.uniform(-1, 1, (A.nrows, args.nrhs))
+    t0 = time.perf_counter()
+    for j in range(args.nrhs):
+        solver.solve(B[:, j])
+    t_seq = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    solver.solve(B)
+    t_batch = time.perf_counter() - t0
+
+    print(f"matrix              : n={A.nrows} nnz={A.nnz} "
+          f"(mean of {args.repeats} run(s))")
+    print(f"cold factor         : {t_cold * 1e3:.2f} ms (full analyze phase)")
+    print(f"cached refactor     : {t_warm * 1e3:.2f} ms (numeric only)")
+    print(f"analyze amortization: {t_cold / t_warm:.1f}x")
+    print(f"{args.nrhs} sequential solves: {t_seq * 1e3:.2f} ms")
+    print(f"one ({A.nrows},{args.nrhs}) block solve : {t_batch * 1e3:.2f} ms")
+    print(f"multi-RHS speedup   : {t_seq / t_batch:.1f}x")
+    return 0
+
+
 def cmd_suite(args) -> int:
     from .matrices import SUITE
 
@@ -490,6 +604,37 @@ def build_parser() -> argparse.ArgumentParser:
                     help="crash a rank mid-run, recover via checkpoint/"
                          "restart and trace-check every committed round")
     vc.set_defaults(func=cmd_verify_comm)
+
+    sd = sub.add_parser(
+        "serve-demo",
+        help="run a synthetic same-structure workload through SolveService",
+    )
+    sd.add_argument("--jobs", type=int, default=12)
+    sd.add_argument("--workers", type=int, default=3)
+    sd.add_argument("--patterns", type=int, default=2, choices=[1, 2, 3],
+                    help="distinct matrix structures in the workload")
+    sd.add_argument("--nrhs", type=int, default=1,
+                    help="right-hand sides per job")
+    sd.add_argument("--burst", type=int, default=3,
+                    help="adjacent jobs sharing one system (batchable)")
+    sd.add_argument("--max-queue", type=int, default=8)
+    sd.add_argument("--max-batch", type=int, default=4)
+    sd.add_argument("--inter-arrival", type=float, default=0.0,
+                    help="virtual seconds between submissions")
+    sd.add_argument("--seed", type=int, default=0)
+    sd.set_defaults(func=cmd_serve_demo)
+
+    bs = sub.add_parser(
+        "bench-service",
+        help="wall-clock: cold factor vs cached refactor vs batched-RHS solve",
+    )
+    bs.add_argument("--matrix", help="MatrixMarket file (default: suite matrix)")
+    bs.add_argument("--name", default="sherman5",
+                    help="suite matrix when no --matrix is given")
+    bs.add_argument("--repeats", type=int, default=3)
+    bs.add_argument("--nrhs", type=int, default=8)
+    bs.add_argument("--seed", type=int, default=0)
+    bs.set_defaults(func=cmd_bench_service)
 
     ls = sub.add_parser("suite", help="list built-in suite matrices")
     ls.set_defaults(func=cmd_suite)

@@ -16,7 +16,7 @@ from .tasks import (
     factored_column_of,
     FactoredColumn,
 )
-from .sequential import sstar_factor, LUFactorization
+from .sequential import sstar_factor, sstar_refactor, LUFactorization
 from .serialize import save_factorization, load_factorization
 from .packed import packed_factor, PackedLUMatrix, PackedFactorization
 from .robust import (
@@ -41,6 +41,7 @@ __all__ = [
     "factored_column_of",
     "FactoredColumn",
     "sstar_factor",
+    "sstar_refactor",
     "LUFactorization",
     "save_factorization",
     "load_factorization",

@@ -139,22 +139,25 @@ def sstar_factor(
     amalgamation: int = 4,
     sym: SymbolicFactorization = None,
     part: BlockPartition = None,
+    bstruct: BlockStructure = None,
     counter: KernelCounter = None,
     pivot_threshold: float = 1.0,
     monitor=None,
 ) -> LUFactorization:
     """Factor an ordered, zero-free-diagonal matrix with the S* algorithm.
 
-    Precomputed ``sym``/``part`` may be passed to amortise the front-end
-    across repeated factorizations (the benchmark harness does this).
-    ``monitor`` (a :class:`repro.numfact.PivotMonitor`) enables pivot
-    growth tracking and tiny-pivot perturbation.
+    Precomputed ``sym``/``part``/``bstruct`` may be passed to amortise the
+    front-end across repeated factorizations (the benchmark harness and the
+    structure cache in :mod:`repro.service` do this).  ``monitor`` (a
+    :class:`repro.numfact.PivotMonitor`) enables pivot growth tracking and
+    tiny-pivot perturbation.
     """
     if sym is None:
         sym = static_symbolic_factorization(A)
     if part is None:
         part = build_partition(sym, max_size=block_size, amalgamation=amalgamation)
-    bstruct = build_block_structure(sym, part)
+    if bstruct is None:
+        bstruct = build_block_structure(sym, part)
     m = BlockLUMatrix.from_csr(A, part, bstruct)
     counter = counter if counter is not None else KernelCounter()
 
@@ -167,3 +170,32 @@ def sstar_factor(
         for J in bstruct.u_block_cols(K):
             update_block_column(m, fc, J, counter=counter)
     return LUFactorization(m, sym, part, bstruct, counter)
+
+
+def sstar_refactor(
+    A: CSRMatrix,
+    previous: LUFactorization,
+    counter: KernelCounter = None,
+    pivot_threshold: float = 1.0,
+    monitor=None,
+) -> LUFactorization:
+    """Numerically re-factor a matrix with the *same nonzero pattern* as a
+    previous factorization, reusing its symbolic state.
+
+    George–Ng static symbolic factorization depends only on the pattern and
+    upper-bounds the fill of any pivot sequence, so ``previous.sym``,
+    ``previous.part`` and ``previous.bstruct`` remain exactly valid for any
+    ``A`` sharing the pattern — the whole analyze phase is skipped and the
+    call goes straight to the Factor/Update sweep.  The caller is
+    responsible for the pattern actually matching (the structure cache in
+    :mod:`repro.service` verifies it by hash).
+    """
+    return sstar_factor(
+        A,
+        sym=previous.sym,
+        part=previous.part,
+        bstruct=previous.bstruct,
+        counter=counter,
+        pivot_threshold=pivot_threshold,
+        monitor=monitor,
+    )

@@ -16,6 +16,12 @@ programs over the same 1D column-block distribution the factorization used:
   holding ``U_KJ`` ships ``U_KJ x_J`` to the owner of segment ``K``, which
   applies contributions in ascending-``J`` order so the floating-point
   sums match the sequential solver **bitwise**.
+
+The right-hand side may be a vector ``(n,)`` or a block ``(n, k)`` of
+``k`` right-hand sides; block solves run the same protocol once, with every
+product a ``trsm``/``gemm``-shaped BLAS-3 call on ``(bs, k)`` panels, so one
+factorization (and one message per logical transfer) amortises across all
+``k`` solutions.
 """
 
 from __future__ import annotations
@@ -51,6 +57,13 @@ def _solve_program(env, ctx):
     bounds = part.bounds
     N = part.N
     me = env.rank
+    nrhs = 1 if b.ndim == 1 else b.shape[1]
+    mv_kernel = "dgemv" if nrhs == 1 else "dgemm"
+
+    def row_payload(seg, i):
+        # a scalar for vector solves (historic wire format), a row copy for
+        # (n, k) blocks
+        return float(seg[i]) if b.ndim == 1 else seg[i].copy()
 
     mine = [K for K in range(N) if int(owner[K]) == me]
     x = {K: b[bounds[K] : bounds[K + 1]].copy() for K in mine}
@@ -67,9 +80,11 @@ def _solve_program(env, ctx):
                 lm = m - bounds[K]
                 if pt == me:
                     lt = t - bounds[It]
-                    x[K][lm], x[It][lt] = x[It][lt], x[K][lm]
+                    tmp = np.copy(x[K][lm])
+                    x[K][lm] = x[It][lt]
+                    x[It][lt] = tmp
                 else:
-                    env.send(pt, ("fswap", K, step, "m"), float(x[K][lm]))
+                    env.send(pt, ("fswap", K, step, "m"), row_payload(x[K], lm))
                     x[K][lm] = yield env.recv(("fswap", K, step, "t"))
             xk = x[K]
             snap = env.snapshot()
@@ -80,7 +95,7 @@ def _solve_program(env, ctx):
                 if I <= K:
                     continue
                 contrib = blocks[(I, K)] @ xk
-                env.compute("dgemv", 2.0 * blocks[(I, K)].size, gran=part.size(K))
+                env.compute(mv_kernel, 2.0 * blocks[(I, K)].size * nrhs, gran=part.size(K))
                 po = int(owner[I])
                 if po == me:
                     x[I] -= contrib
@@ -95,7 +110,7 @@ def _solve_program(env, ctx):
                 if int(owner[It]) != me:
                     continue
                 lt = t - bounds[It]
-                env.send(int(owner[K]), ("fswap", K, step, "t"), float(x[It][lt]))
+                env.send(int(owner[K]), ("fswap", K, step, "t"), row_payload(x[It], lt))
                 x[It][lt] = yield env.recv(("fswap", K, step, "m"))
             # absorb contributions into my segments, ascending I
             for I in bstruct.l_block_rows(K):
@@ -109,14 +124,14 @@ def _solve_program(env, ctx):
         for J in bstruct.u_block_cols(K):
             if int(owner[J]) == me and int(owner[K]) != me:
                 contrib = blocks[(K, J)] @ x[J]
-                env.compute("dgemv", 2.0 * blocks[(K, J)].size, gran=part.size(J))
+                env.compute(mv_kernel, 2.0 * blocks[(K, J)].size * nrhs, gran=part.size(J))
                 env.send(int(owner[K]), ("bwd", K, J), contrib)
         if int(owner[K]) == me:
             xk = x[K]
             for J in bstruct.u_block_cols(K):  # ascending J: bitwise order
                 if int(owner[J]) == me:
                     contrib = blocks[(K, J)] @ x[J]
-                    env.compute("dgemv", 2.0 * blocks[(K, J)].size, gran=part.size(J))
+                    env.compute(mv_kernel, 2.0 * blocks[(K, J)].size * nrhs, gran=part.size(J))
                 else:
                     contrib = yield env.recv(("bwd", K, J))
                 xk -= contrib
@@ -137,13 +152,18 @@ def run_1d_trisolve(
     ``lu`` is a (merged) factorization whose blocks the ranks read from
     according to ownership — physically shared in-process, logically
     distributed, matching how the factorization left the data.
+
+    ``b`` is a single right-hand side ``(n,)`` or a block ``(n, k)``; the
+    block form solves all ``k`` systems in one pass with BLAS-3 panels.
     """
     b = np.asarray(b, dtype=np.float64)
-    if b.shape != (lu.n,):
-        raise ValueError(f"rhs must have shape ({lu.n},)")
+    if b.ndim not in (1, 2) or b.shape[0] != lu.n:
+        raise ValueError(
+            f"rhs must have shape ({lu.n},) or ({lu.n}, k); got {b.shape}"
+        )
     ctx = {"lu": lu, "owner": owner, "b": b}
     sim = Simulator(nprocs, spec, _solve_program, args=(ctx,), **(sim_opts or {})).run()
-    x = np.empty(lu.n)
+    x = np.empty(b.shape)
     bounds = lu.part.bounds
     for ret in sim.returns:
         for K, seg in ret.items():

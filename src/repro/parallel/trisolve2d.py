@@ -17,6 +17,10 @@ the diagonal block's owner ``(K mod p_r, K mod p_c)``:
   processor column ``J mod p_c``, where the ``U_KJ`` owners later produce
   the contributions segment ``K`` subtracts in ascending-``J`` order before
   its own back substitution.
+
+``b`` may be a vector ``(n,)`` or an ``(n, k)`` block of right-hand sides;
+the block form runs the identical protocol once with BLAS-3 ``(bs, k)``
+panels in every product and multicast.
 """
 
 from __future__ import annotations
@@ -54,9 +58,16 @@ def _program(env, ctx):
     N = part.N
     r, c = grid.coords(env.rank)
     pr, pc = grid.pr, grid.pc
+    nrhs = 1 if b.ndim == 1 else b.shape[1]
+    mv_kernel = "dgemv" if nrhs == 1 else "dgemm"
 
     def diag_owner(K):
         return grid.rank(K % pr, K % pc)
+
+    def row_payload(seg, i):
+        # a scalar for vector solves (historic wire format), a row copy for
+        # (n, k) blocks
+        return float(seg[i]) if b.ndim == 1 else seg[i].copy()
 
     x = {
         K: b[bounds[K] : bounds[K + 1]].copy()
@@ -76,14 +87,16 @@ def _program(env, ctx):
             if o_m == o_t:
                 if env.rank == o_m:
                     lm, lt = m - bounds[K], t - bounds[It]
-                    x[K][lm], x[It][lt] = x[It][lt], x[K][lm]
+                    tmp = np.copy(x[K][lm])
+                    x[K][lm] = x[It][lt]
+                    x[It][lt] = tmp
             elif env.rank == o_m:
                 lm = m - bounds[K]
-                env.send(o_t, ("2dswap", K, step, "m"), float(x[K][lm]))
+                env.send(o_t, ("2dswap", K, step, "m"), row_payload(x[K], lm))
                 x[K][lm] = yield env.recv(("2dswap", K, step, "t"))
             elif env.rank == o_t:
                 lt = t - bounds[It]
-                env.send(o_m, ("2dswap", K, step, "t"), float(x[It][lt]))
+                env.send(o_m, ("2dswap", K, step, "t"), row_payload(x[It], lt))
                 x[It][lt] = yield env.recv(("2dswap", K, step, "m"))
         below = [I for I in bstruct.l_block_rows(K) if I > K]
         if own_k:
@@ -102,7 +115,7 @@ def _program(env, ctx):
             for I in below:
                 if I % pr == r and bstruct.has_l(I, K):
                     contrib = blocks[(I, K)] @ xk_local
-                    env.compute("dgemv", 2.0 * blocks[(I, K)].size, gran=part.size(K))
+                    env.compute(mv_kernel, 2.0 * blocks[(I, K)].size * nrhs, gran=part.size(K))
                     dest = diag_owner(I)
                     if dest == env.rank:
                         x[I] -= contrib
@@ -128,7 +141,7 @@ def _program(env, ctx):
             for J in right:
                 if J % pc == c and diag_owner(K) != env.rank:
                     contrib = blocks[(K, J)] @ xj_local[J]
-                    env.compute("dgemv", 2.0 * blocks[(K, J)].size, gran=part.size(J))
+                    env.compute(mv_kernel, 2.0 * blocks[(K, J)].size * nrhs, gran=part.size(J))
                     env.send(diag_owner(K), ("2dbwd", K, J), contrib)
         if own_k:
             xk = x[K]
@@ -136,7 +149,7 @@ def _program(env, ctx):
                 producer = grid.rank(K % pr, J % pc)
                 if producer == env.rank:
                     contrib = blocks[(K, J)] @ xj_local[J]
-                    env.compute("dgemv", 2.0 * blocks[(K, J)].size, gran=part.size(J))
+                    env.compute(mv_kernel, 2.0 * blocks[(K, J)].size * nrhs, gran=part.size(J))
                 else:
                     contrib = yield env.recv(("2dbwd", K, J))
                 xk -= contrib
@@ -155,17 +168,23 @@ def run_2d_trisolve(
     lu: LUFactorization, b: np.ndarray, nprocs: int, spec: MachineSpec,
     grid: Grid2D = None, sim_opts: dict = None,
 ) -> TriSolve2DResult:
-    """Solve ``A x = b`` (permuted coordinates) on the 2D grid."""
+    """Solve ``A x = b`` (permuted coordinates) on the 2D grid.
+
+    ``b`` is a single right-hand side ``(n,)`` or an ``(n, k)`` block; the
+    block form solves all ``k`` systems in one pass with BLAS-3 panels.
+    """
     if grid is None:
         grid = Grid2D.preferred(nprocs)
     if grid.nprocs != nprocs:
         raise ValueError("grid size does not match nprocs")
     b = np.asarray(b, dtype=np.float64)
-    if b.shape != (lu.n,):
-        raise ValueError(f"rhs must have shape ({lu.n},)")
+    if b.ndim not in (1, 2) or b.shape[0] != lu.n:
+        raise ValueError(
+            f"rhs must have shape ({lu.n},) or ({lu.n}, k); got {b.shape}"
+        )
     ctx = {"lu": lu, "grid": grid, "b": b}
     sim = Simulator(nprocs, spec, _program, args=(ctx,), **(sim_opts or {})).run()
-    x = np.empty(lu.n)
+    x = np.empty(b.shape)
     bounds = lu.part.bounds
     for ret in sim.returns:
         for K, seg in ret.items():

@@ -1,0 +1,240 @@
+"""Structure-keyed analysis cache.
+
+The paper's static approach (Section 3) makes the entire analyze phase —
+maximum transversal, minimum-degree ordering on AᵀA, George–Ng symbolic
+factorization, supernode partition and amalgamation — a function of the
+*nonzero pattern alone*: the symbolic structure upper-bounds the fill of
+any pivot sequence, so it stays exactly valid for every matrix sharing the
+pattern, whatever its values pivot to.  Workloads dominated by repeated
+same-structure solves (Newton loops, circuit transient simulation) can
+therefore pay for the analysis once and re-run only the numeric
+Factor/Update sweep.
+
+This module provides the cache that makes that split operational:
+
+* :func:`pattern_key` — a stable hash of the CSR pattern (shape + indptr +
+  indices, values excluded);
+* :class:`AnalysisArtifacts` — the pattern-only products of the analyze
+  phase (permutations, symbolic structure, partition, block structure)
+  plus the machinery to re-apply them to a new same-pattern matrix;
+* :class:`AnalysisCache` — an LRU cache with entry- and byte-bounded
+  capacity and hit/miss/eviction/invalidation accounting.
+
+Invalidation: the cached structure never becomes *structurally* wrong, but
+a numeric factorization that had to perturb tiny pivots or saw runaway
+element growth signals that the static-structure assumption is doing real
+numerical work for this pattern; :meth:`repro.api.SStarSolver.refactor`
+then drops the entry so the next factorization re-derives (and re-verifies)
+the analysis from scratch.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def pattern_key(A) -> str:
+    """Stable hex digest of a CSR matrix's nonzero *pattern*.
+
+    Hashes shape, ``indptr`` and ``indices`` — not values — so any two
+    matrices with identical structure collide deliberately.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(np.int64([A.nrows, A.ncols]).tobytes())
+    h.update(np.ascontiguousarray(A.indptr, dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(A.indices, dtype=np.int64).tobytes())
+    return h.hexdigest()
+
+
+def values_key(A) -> str:
+    """Hex digest of pattern *and* values (used to batch identical systems)."""
+    h = hashlib.blake2b(digest_size=16)
+    h.update(pattern_key(A).encode())
+    h.update(np.ascontiguousarray(A.data, dtype=np.float64).tobytes())
+    return h.hexdigest()
+
+
+def _nbytes(obj, _seen=None) -> int:
+    """Approximate deep byte count of the numpy payload of an object tree."""
+    if _seen is None:
+        _seen = set()
+    if id(obj) in _seen:
+        return 0
+    _seen.add(id(obj))
+    if isinstance(obj, np.ndarray):
+        return obj.nbytes
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return sum(_nbytes(o, _seen) for o in obj)
+    if isinstance(obj, dict):
+        return sum(_nbytes(k, _seen) + _nbytes(v, _seen) for k, v in obj.items())
+    if isinstance(obj, (int, float, np.integer, np.floating)):
+        return 8
+    if isinstance(obj, (str, bytes)):
+        return len(obj)
+    if hasattr(obj, "__dict__"):
+        return _nbytes(vars(obj), _seen)
+    return 0
+
+
+@dataclass
+class AnalysisArtifacts:
+    """Everything the analyze phase produced that depends only on the
+    nonzero pattern: the row/column permutations (transversal + symmetric
+    min-degree), the static symbolic factorization, the supernode partition
+    and the block structure."""
+
+    key: str
+    row_perm: np.ndarray
+    col_perm: np.ndarray
+    sym: object  # SymbolicFactorization
+    part: object  # BlockPartition
+    bstruct: object  # BlockStructure
+    nbytes: int = 0
+
+    def __post_init__(self):
+        if not self.nbytes:
+            self.nbytes = (
+                self.row_perm.nbytes
+                + self.col_perm.nbytes
+                + _nbytes(self.sym)
+                + _nbytes(self.part)
+                + _nbytes(self.bstruct)
+            )
+
+    def order(self, A):
+        """Apply the cached permutations to a new same-pattern matrix,
+        reproducing exactly what :func:`repro.ordering.prepare_matrix`
+        would return for it (values included, bit for bit)."""
+        from ..ordering.pipeline import OrderedMatrix
+
+        Ap = A.permute(row_perm=self.row_perm, col_perm=self.col_perm)
+        return OrderedMatrix(Ap, self.row_perm, self.col_perm)
+
+
+def analyze(A, block_size: int = 25, amalgamation: int = 4):
+    """Run the full analyze phase; return ``(artifacts, ordered_matrix)``.
+
+    This is the slow path the cache amortises: transversal + min-degree
+    ordering, George–Ng symbolic factorization, supernode partition with
+    amalgamation, and the block structure.
+    """
+    from ..ordering import prepare_matrix
+    from ..supernodes import build_block_structure, build_partition
+    from ..symbolic import static_symbolic_factorization
+
+    om = prepare_matrix(A)
+    sym = static_symbolic_factorization(om.A)
+    part = build_partition(sym, max_size=block_size, amalgamation=amalgamation)
+    bstruct = build_block_structure(sym, part)
+    art = AnalysisArtifacts(
+        key=pattern_key(A),
+        row_perm=om.row_perm,
+        col_perm=om.col_perm,
+        sym=sym,
+        part=part,
+        bstruct=bstruct,
+    )
+    return art, om
+
+
+@dataclass
+class CacheStats:
+    """Counters accumulated over an :class:`AnalysisCache`'s lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    entries: int = 0
+    bytes: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "entries": self.entries,
+            "bytes": self.bytes,
+        }
+
+
+@dataclass
+class AnalysisCache:
+    """LRU cache of :class:`AnalysisArtifacts` keyed by pattern (plus any
+    parameters the caller folds into the key, e.g. block size).
+
+    Capacity is bounded both by entry count (``max_entries``) and by the
+    artifacts' accounted byte size (``max_bytes``, ``None`` = unbounded);
+    either bound evicts least-recently-used entries.
+    """
+
+    max_entries: int = 32
+    max_bytes: int = None
+    _entries: OrderedDict = field(default_factory=OrderedDict, repr=False)
+    _stats: CacheStats = field(default_factory=CacheStats, repr=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key) -> bool:
+        return key in self._entries
+
+    @property
+    def nbytes(self) -> int:
+        return sum(a.nbytes for a in self._entries.values())
+
+    def get(self, key):
+        """Return the cached artifacts for ``key`` (marking it
+        most-recently-used) or ``None`` on a miss."""
+        art = self._entries.get(key)
+        if art is None:
+            self._stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self._stats.hits += 1
+        return art
+
+    def peek(self, key):
+        """Like :meth:`get` but with no stats or LRU side effects."""
+        return self._entries.get(key)
+
+    def put(self, key, artifacts: AnalysisArtifacts) -> None:
+        """Insert (or refresh) an entry, then evict LRU entries until both
+        capacity bounds hold again."""
+        self._entries[key] = artifacts
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries or (
+            self.max_bytes is not None
+            and self.nbytes > self.max_bytes
+            and len(self._entries) > 1
+        ):
+            self._entries.popitem(last=False)
+            self._stats.evictions += 1
+
+    def invalidate(self, key) -> bool:
+        """Drop ``key`` if present; returns whether an entry was removed."""
+        if key in self._entries:
+            del self._entries[key]
+            self._stats.invalidations += 1
+            return True
+        return False
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    @property
+    def stats(self) -> CacheStats:
+        self._stats.entries = len(self._entries)
+        self._stats.bytes = self.nbytes
+        return self._stats

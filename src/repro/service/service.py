@@ -1,0 +1,400 @@
+"""``SolveService`` — a deterministic job-queue front end over the solver.
+
+The serving layer the ROADMAP asks for: clients ``submit`` linear systems
+(same- or mixed-pattern), a pool of virtual workers multiplexes the jobs,
+and the structure cache turns repeated same-pattern factorizations into
+numeric-only refactorizations.  Everything is deterministic: the *real*
+numerics run synchronously during ``step``/``drain`` in submission order,
+while latency/throughput accounting advances per-worker **virtual clocks**
+priced by the machine spec — the same discrete-event philosophy as
+:mod:`repro.machine.simulator`, so the same job set always yields the same
+results and the same metrics snapshot.
+
+Mechanics:
+
+* **admission control** — the queue is bounded; ``submit`` beyond
+  ``max_queue`` raises :class:`ServiceOverloadError` (shed load at the
+  door, never deadlock behind it);
+* **multi-RHS batching** — adjacent queued jobs with identical matrices
+  and compatible options are coalesced into one ``(n, k)`` block solve, so
+  one factorization and one triangular sweep serve many requests;
+* **structure caching** — every factorization goes through
+  :meth:`repro.api.SStarSolver.refactor` against the shared
+  :class:`AnalysisCache`, skipping the analyze phase for known patterns;
+* **retry** — a job whose simulated transport gives up
+  (:class:`repro.machine.DeliveryError`, from the PR-2 resilience layer)
+  is retried on a clean network up to ``max_retries`` times before being
+  marked failed;
+* **metrics** — a :class:`MetricsSnapshot` reports cache hit rate, queue
+  depth, p50/p95 latency and throughput in virtual seconds.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..machine import DeliveryError, MachineSpec
+from .cache import AnalysisCache, values_key
+
+#: modeled cost of the analyze phase per structural entry (transversal +
+#: min-degree + symbolic + partition are pointer-chasing integer work, far
+#: slower per entry than the BLAS-3 numeric sweep)
+ANALYZE_SECONDS_PER_ENTRY = 120e-9
+
+PENDING = "pending"
+DONE = "done"
+FAILED = "failed"
+
+
+class ServiceOverloadError(RuntimeError):
+    """Admission control rejected a submit: the bounded queue is full.
+
+    Structured attributes: ``queue_depth`` (jobs already waiting) and
+    ``max_queue`` (the configured bound).
+    """
+
+    def __init__(self, message, queue_depth=0, max_queue=0):
+        super().__init__(message)
+        self.queue_depth = queue_depth
+        self.max_queue = max_queue
+
+
+@dataclass
+class SolveJob:
+    """One submitted system ``A x = b`` and its lifecycle state."""
+
+    job_id: int
+    A: object  # CSRMatrix
+    b: np.ndarray
+    opts_key: tuple
+    arrival: float
+    status: str = PENDING
+    x: Optional[np.ndarray] = None
+    error: Optional[Exception] = None
+    attempts: int = 0
+    start: Optional[float] = None
+    finish: Optional[float] = None
+    cache_hit: Optional[bool] = None
+    batch_size: int = 1  # jobs coalesced into the solve that served this one
+    _opts: dict = field(default=None, repr=False)
+
+    @property
+    def latency(self) -> Optional[float]:
+        return None if self.finish is None else self.finish - self.arrival
+
+    @property
+    def ncols(self) -> int:
+        return 1 if self.b.ndim == 1 else self.b.shape[1]
+
+
+@dataclass
+class MetricsSnapshot:
+    """Point-in-time service statistics (virtual-time units)."""
+
+    jobs_submitted: int
+    jobs_completed: int
+    jobs_failed: int
+    jobs_rejected: int
+    batches: int
+    batched_jobs: int
+    retries: int
+    cache_hits: int
+    cache_misses: int
+    cache_hit_rate: float
+    queue_depth: int
+    max_queue_depth: int
+    latency_p50: float
+    latency_p95: float
+    makespan: float
+    throughput_jobs_per_s: float
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+def _percentile(sorted_vals, q: float) -> float:
+    """Deterministic nearest-rank percentile of an ascending list."""
+    if not sorted_vals:
+        return 0.0
+    idx = max(0, int(np.ceil(q * len(sorted_vals))) - 1)
+    return float(sorted_vals[idx])
+
+
+class SolveService:
+    """Deterministic solve service: submit / poll / result / drain.
+
+    Parameters
+    ----------
+    workers:
+        Virtual worker lanes; jobs are assigned FIFO to the earliest-free
+        lane (ties to the lowest id), which models pool parallelism in the
+        latency metrics while the numerics stay deterministic.
+    max_queue:
+        Bounded-queue admission limit; exceeding it raises
+        :class:`ServiceOverloadError` at ``submit`` time.
+    max_batch:
+        Most right-hand-side columns one coalesced block solve may carry.
+    max_retries:
+        Clean-network retries after a :class:`DeliveryError` failure.
+    inter_arrival:
+        Virtual seconds between successive submissions (workload shaping
+        for the latency metrics; 0 = all jobs arrive at once).
+    solver_opts:
+        Keyword arguments forwarded to every :class:`SStarSolver` (e.g.
+        ``method``, ``nprocs``, ``machine``, ``faults``, ``reliable``).
+    cache:
+        Shared :class:`AnalysisCache` (one is created if not given).
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        max_queue: int = 16,
+        max_batch: int = 8,
+        max_retries: int = 1,
+        inter_arrival: float = 0.0,
+        solver_opts: dict = None,
+        cache: AnalysisCache = None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        self.workers = workers
+        self.max_queue = max_queue
+        self.max_batch = max_batch
+        self.max_retries = max_retries
+        self.inter_arrival = inter_arrival
+        self.solver_opts = dict(solver_opts or {})
+        self.cache = cache if cache is not None else AnalysisCache()
+        self._queue: deque = deque()
+        self._jobs: dict = {}
+        self._worker_clock = [0.0] * workers
+        self._next_id = 0
+        self._submitted = 0
+        self._rejected = 0
+        self._failed = 0
+        self._batches = 0
+        self._batched_jobs = 0
+        self._retries = 0
+        self._max_depth = 0
+        self._latencies: list = []
+        self._first_arrival: Optional[float] = None
+        self._last_finish = 0.0
+
+    # -- client API ----------------------------------------------------
+
+    def submit(self, A, b, solver_opts: dict = None) -> int:
+        """Enqueue ``A x = b``; returns the job id.
+
+        ``b`` may be ``(n,)`` or ``(n, k)``.  ``solver_opts`` override the
+        service-level solver options for this job only.  Raises
+        :class:`ServiceOverloadError` when the bounded queue is full.
+        """
+        if len(self._queue) >= self.max_queue:
+            self._rejected += 1
+            raise ServiceOverloadError(
+                f"queue full: {len(self._queue)} waiting jobs "
+                f"(max_queue={self.max_queue}); drain before submitting more",
+                queue_depth=len(self._queue),
+                max_queue=self.max_queue,
+            )
+        b = np.asarray(b, dtype=np.float64)
+        if b.ndim not in (1, 2) or b.shape[0] != A.nrows:
+            raise ValueError(
+                f"rhs must have shape ({A.nrows},) or ({A.nrows}, k); "
+                f"got {b.shape}"
+            )
+        opts = dict(self.solver_opts)
+        opts.update(solver_opts or {})
+        opts_key = tuple(sorted((k, repr(v)) for k, v in opts.items()))
+        job = SolveJob(
+            job_id=self._next_id,
+            A=A,
+            b=b,
+            opts_key=opts_key,
+            arrival=self._submitted * self.inter_arrival,
+            _opts=opts,
+        )
+        self._next_id += 1
+        self._submitted += 1
+        if self._first_arrival is None:
+            self._first_arrival = job.arrival
+        self._jobs[job.job_id] = job
+        self._queue.append(job)
+        self._max_depth = max(self._max_depth, len(self._queue))
+        return job.job_id
+
+    def poll(self, job_id: int) -> str:
+        """Non-blocking status query: ``pending`` / ``done`` / ``failed``."""
+        return self._jobs[job_id].status
+
+    def result(self, job_id: int) -> np.ndarray:
+        """Return the solution for ``job_id``, processing queued work as
+        needed (jobs complete in submission order).  Raises the job's
+        recorded error if it ultimately failed."""
+        job = self._jobs[job_id]
+        while job.status == PENDING:
+            self.step()
+        if job.status == FAILED:
+            raise job.error
+        return job.x
+
+    def job(self, job_id: int) -> SolveJob:
+        return self._jobs[job_id]
+
+    def drain(self) -> list:
+        """Process every queued job; returns the drained :class:`SolveJob`
+        records in completion order."""
+        done = []
+        while self._queue:
+            done.extend(self.step())
+        return done
+
+    # -- execution -----------------------------------------------------
+
+    def _take_batch(self) -> list:
+        """Pop the head job plus any adjacent coalescable followers:
+        identical matrix values, identical solver options, within the
+        ``max_batch`` column budget."""
+        head = self._queue.popleft()
+        batch = [head]
+        cols = head.ncols
+        head_vk = values_key(head.A)
+        while self._queue:
+            nxt = self._queue[0]
+            if (
+                nxt.opts_key != head.opts_key
+                or cols + nxt.ncols > self.max_batch
+                or values_key(nxt.A) != head_vk
+            ):
+                break
+            batch.append(self._queue.popleft())
+            cols += nxt.ncols
+        return batch
+
+    def _run_solver(self, A, opts, strip_faults: bool):
+        from ..api.solver import SStarSolver
+
+        if strip_faults:
+            opts = dict(opts)
+            opts.pop("faults", None)
+        solver = SStarSolver(analysis_cache=self.cache, **opts)
+        return solver.refactor(A)
+
+    def _modeled_seconds(self, solver, nrhs: int) -> float:
+        """Virtual service time of one factor+solve on a worker lane."""
+        rep = solver.report
+        if rep.parallel_seconds is not None:
+            factor_s = rep.parallel_seconds
+            spec = solver.spec
+        else:
+            spec: MachineSpec = solver.spec
+            factor_s = spec.kernel_seconds(solver.factorization.counter.by_gran)
+        analyze_s = 0.0
+        if not rep.analysis_reused:
+            analyze_s = ANALYZE_SECONDS_PER_ENTRY * (rep.nnz + rep.factor_entries)
+        solve_flops = 4.0 * rep.factor_entries * nrhs
+        solve_kernel = "dgemm" if nrhs >= 2 else "dgemv"
+        solve_s = solve_flops / spec.kernel_rate(solve_kernel)
+        return analyze_s + factor_s + solve_s
+
+    def step(self) -> list:
+        """Serve one batch on the earliest-free worker lane; returns the
+        jobs it completed (or failed)."""
+        if not self._queue:
+            return []
+        batch = self._take_batch()
+        head = batch[0]
+        opts = head._opts
+        B = np.column_stack(
+            [j.b if j.b.ndim == 2 else j.b[:, None] for j in batch]
+        )
+        nrhs = B.shape[1]
+
+        worker = min(range(self.workers), key=lambda w: self._worker_clock[w])
+        start = max(self._worker_clock[worker], head.arrival)
+
+        solver = None
+        error = None
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                solver = self._run_solver(head.A, opts, strip_faults=attempts > 1)
+                break
+            except DeliveryError as e:
+                error = e
+                if attempts > self.max_retries:
+                    break
+                self._retries += 1
+
+        if solver is not None:
+            X = solver.solve(B)
+            finish = start + self._modeled_seconds(solver, nrhs)
+        else:
+            # the failed attempts still occupied the lane; charge a latency
+            # penalty proportional to the attempts made
+            finish = start + attempts * ANALYZE_SECONDS_PER_ENTRY * head.A.nnz
+
+        col = 0
+        for job in batch:
+            job.start = start
+            job.finish = finish
+            job.attempts = attempts
+            job.batch_size = len(batch)
+            if solver is not None:
+                job.cache_hit = solver.report.analysis_reused
+                job.x = (
+                    X[:, col]
+                    if job.b.ndim == 1
+                    else X[:, col : col + job.ncols]
+                )
+                job.status = DONE
+                self._latencies.append(job.latency)
+            else:
+                job.error = error
+                job.status = FAILED
+                self._failed += 1
+            col += job.ncols
+        self._worker_clock[worker] = finish
+        self._last_finish = max(self._last_finish, finish)
+        self._batches += 1
+        if len(batch) > 1:
+            self._batched_jobs += len(batch)
+        return batch
+
+    # -- metrics -------------------------------------------------------
+
+    def metrics(self) -> MetricsSnapshot:
+        """Deterministic statistics snapshot (same job set → same numbers)."""
+        lat = sorted(self._latencies)
+        completed = len(self._latencies)
+        makespan = (
+            self._last_finish - self._first_arrival
+            if completed and self._first_arrival is not None
+            else 0.0
+        )
+        cs = self.cache.stats
+        return MetricsSnapshot(
+            jobs_submitted=self._submitted,
+            jobs_completed=completed,
+            jobs_failed=self._failed,
+            jobs_rejected=self._rejected,
+            batches=self._batches,
+            batched_jobs=self._batched_jobs,
+            retries=self._retries,
+            cache_hits=cs.hits,
+            cache_misses=cs.misses,
+            cache_hit_rate=cs.hit_rate,
+            queue_depth=len(self._queue),
+            max_queue_depth=self._max_depth,
+            latency_p50=_percentile(lat, 0.50),
+            latency_p95=_percentile(lat, 0.95),
+            makespan=makespan,
+            throughput_jobs_per_s=(completed / makespan if makespan > 0 else 0.0),
+        )

@@ -37,7 +37,12 @@ def coo_to_csr(nrows, ncols, rows, cols, vals=None, sum_duplicates=True):
         urows = rows[first]
         ucols = cols[first]
         if sum_duplicates:
-            uvals = np.bincount(group, weights=vals, minlength=group[-1] + 1)
+            if first.all():
+                # no duplicates: keep values verbatim (bincount's +0.0
+                # accumulator would drop the sign of -0.0 entries)
+                uvals = vals.copy()
+            else:
+                uvals = np.bincount(group, weights=vals, minlength=group[-1] + 1)
         else:
             uvals = np.empty(group[-1] + 1)
             uvals[group] = vals  # later entries overwrite earlier ones

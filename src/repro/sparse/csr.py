@@ -111,6 +111,21 @@ class CSRMatrix:
             self.data.copy(),
         )
 
+    def with_values(self, data) -> "CSRMatrix":
+        """Same pattern, new values — the refactorization workload shape."""
+        data = np.asarray(data, dtype=np.float64)
+        if data.shape != (self.nnz,):
+            raise ValueError(
+                f"values must have shape ({self.nnz},); got {data.shape}"
+            )
+        return CSRMatrix(
+            self.nrows,
+            self.ncols,
+            self.indptr.copy(),
+            self.indices.copy(),
+            data.copy(),
+        )
+
     def permute(self, row_perm=None, col_perm=None) -> "CSRMatrix":
         """Return ``A[row_perm, :][:, col_perm]`` style permutation.
 

@@ -19,9 +19,11 @@ TRACE_CHECKED_MODULES = {
     "tests.test_parallel_1d",
     "tests.test_parallel_2d",
     "tests.test_trisolve",
+    "tests.test_service",
     "test_parallel_1d",
     "test_parallel_2d",
     "test_trisolve",
+    "test_service",
 }
 
 

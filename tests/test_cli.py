@@ -109,6 +109,41 @@ class TestValidate:
         assert "FAIL" in capsys.readouterr().out
 
 
+class TestServeDemo:
+    def test_small_workload(self, capsys):
+        assert main(
+            [
+                "serve-demo",
+                "--jobs", "6",
+                "--workers", "2",
+                "--patterns", "1",
+                "--burst", "3",
+                "--max-queue", "4",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "completed" in out
+        assert "hit rate" in out
+        assert "worst |Ax-b|" in out
+
+    def test_multi_rhs_jobs(self, capsys):
+        assert main(
+            ["serve-demo", "--jobs", "4", "--patterns", "1", "--nrhs", "2"]
+        ) == 0
+        assert "completed" in capsys.readouterr().out
+
+
+class TestBenchService:
+    def test_reports_amortization(self, capsys):
+        assert main(
+            ["bench-service", "--name", "jpwh991", "--repeats", "1",
+             "--nrhs", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "analyze amortization" in out
+        assert "multi-RHS" in out
+
+
 class TestVerifyComm:
     def test_static_only_all_modules(self, capsys):
         assert main(["verify-comm", "--all-parallel-modules", "--static-only"]) == 0

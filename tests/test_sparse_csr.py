@@ -56,6 +56,17 @@ class TestBasics:
         B.data[0] = 99.0
         assert A.data[0] == 1.0
 
+    def test_with_values(self):
+        A = small()
+        B = A.with_values(A.data * 2.0)
+        assert np.array_equal(B.indptr, A.indptr)
+        assert np.array_equal(B.indices, A.indices)
+        assert np.array_equal(B.data, A.data * 2.0)
+        B.data[0] = 99.0  # fresh arrays, original untouched
+        assert A.data[0] == 1.0
+        with pytest.raises(ValueError, match="values"):
+            A.with_values(np.ones(A.nnz + 1))
+
 
 class TestValidation:
     def test_bad_indptr_length(self):

@@ -57,3 +57,71 @@ class TestRoundtrip:
         p.write_text("garbage\n1 1 1\n")
         with pytest.raises(ValueError, match="MatrixMarket"):
             read_matrix_market(p)
+
+    def test_values_exact_round_trip(self, tmp_path):
+        """%.17g is enough digits to reproduce any float64 bit for bit."""
+        from repro.sparse import CSRMatrix
+
+        data = np.array(
+            [1.0 / 3.0, np.pi, 1e-300, -1e300, np.nextafter(1.0, 2.0), -0.0]
+        )
+        A = CSRMatrix(
+            2, 3,
+            np.array([0, 3, 6]),
+            np.array([0, 1, 2, 0, 1, 2]),
+            data,
+        )
+        p = tmp_path / "exact.mtx"
+        write_matrix_market(p, A)
+        B = read_matrix_market(p)
+        assert np.array_equal(A.indptr, B.indptr)
+        assert np.array_equal(A.indices, B.indices)
+        assert B.data.tobytes() == A.data.tobytes()
+
+    def test_structure_round_trip(self, tmp_path):
+        A = random_nonsymmetric(40, density=0.08, seed=9)
+        p = tmp_path / "s.mtx"
+        write_matrix_market(p, A)
+        B = read_matrix_market(p)
+        assert (B.nrows, B.ncols, B.nnz) == (A.nrows, A.ncols, A.nnz)
+        assert np.array_equal(A.indptr, B.indptr)
+        assert np.array_equal(A.indices, B.indices)
+        assert np.array_equal(A.data, B.data)
+
+    def test_written_indices_are_one_based(self, tmp_path):
+        from repro.sparse import CSRMatrix
+
+        A = CSRMatrix(
+            2, 2,
+            np.array([0, 1, 2]),
+            np.array([0, 1]),
+            np.array([5.0, 7.0]),
+        )
+        p = tmp_path / "one.mtx"
+        write_matrix_market(p, A)
+        body = [
+            ln for ln in p.read_text().splitlines()
+            if not ln.startswith("%")
+        ]
+        assert body[0].split() == ["2", "2", "2"]
+        assert body[1].split()[:2] == ["1", "1"]  # (0,0) written 1-based
+        assert body[2].split()[:2] == ["2", "2"]
+
+    def test_pattern_file_full_round_trip(self, tmp_path):
+        p = tmp_path / "pat.mtx"
+        p.write_text(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "3 3 3\n"
+            "1 2\n"
+            "2 3\n"
+            "3 1\n"
+        )
+        A = read_matrix_market(p)
+        assert A.nnz == 3
+        assert all(v == 1.0 for v in A.data)
+        q = tmp_path / "pat2.mtx"
+        write_matrix_market(q, A)
+        B = read_matrix_market(q)
+        assert np.array_equal(A.indptr, B.indptr)
+        assert np.array_equal(A.indices, B.indices)
+        assert np.array_equal(A.data, B.data)
