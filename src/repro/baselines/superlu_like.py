@@ -195,7 +195,7 @@ def superlu_like_factor(A: CSRMatrix, pivot_rule: str = "partial") -> DynamicLU:
         # ---- split into U part (pivoted rows) and candidate rows
         upos, uvals_j = [], []
         cand_rows, cand_vals = [], []
-        for r in nonzero_rows:
+        for r in sorted(nonzero_rows):
             k = perm_r[r]
             if k >= 0:
                 upos.append(int(k))
@@ -241,7 +241,7 @@ def superlu_like_factor(A: CSRMatrix, pivot_rule: str = "partial") -> DynamicLU:
         lstruct[j] = below_rows
 
         # reset accumulator
-        for r in nonzero_rows:
+        for r in sorted(nonzero_rows):
             x[r] = 0.0
 
     return DynamicLU(

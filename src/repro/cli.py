@@ -10,6 +10,8 @@ Commands
 ``simulate``   run a parallel factorization on the simulated T3D/T3E
 ``validate``   run the full invariant battery on a matrix
 ``verify-comm`` static + dynamic + replay communication-protocol analyses
+``lint``       dataflow static analysis: determinism (D1xx) and zero-copy
+               aliasing (Z2xx) rules over the codebase
 ``serve-demo`` run a synthetic workload through the SolveService front end
 ``bench-service`` cold factor vs cached refactor vs batched-RHS timings
 ``suite``      list the built-in suite matrices
@@ -175,7 +177,21 @@ def cmd_validate(args) -> int:
     return 0 if all(r.passed for r in results) else 1
 
 
+_SEVERITY_ORDER = ("note", "warning", "error")
+
+
+def _verify_comm_exit(counts, fail_on) -> int:
+    """Exit code from severity counts and the ``--fail-on`` threshold."""
+    if fail_on == "never":
+        return 0
+    thr = _SEVERITY_ORDER.index(fail_on)
+    n = sum(c for s, c in counts.items() if _SEVERITY_ORDER.index(s) >= thr)
+    return 1 if n else 0
+
+
 def cmd_verify_comm(args) -> int:
+    import json
+
     from .machine import T3D, T3E, GENERIC
     from .verify import (
         check_run,
@@ -185,10 +201,25 @@ def cmd_verify_comm(args) -> int:
     )
 
     spec = {"T3D": T3D, "T3E": T3E, "GENERIC": GENERIC}[args.machine]
-    failures = 0
+    counts = {"note": 0, "warning": 0, "error": 0}
+    doc = {"static": {}, "dynamic": [], "replay": [], "faults": {}}
+    out = (lambda *a, **k: None) if args.json else print
+
+    def finish() -> int:
+        failures = sum(counts.values())
+        code = _verify_comm_exit(counts, args.fail_on)
+        if args.json:
+            doc["counts"] = dict(counts)
+            doc["fail_on"] = args.fail_on
+            doc["ok"] = code == 0
+            print(json.dumps(doc, indent=2, sort_keys=True, default=str))
+        else:
+            print(f"\n{'PASS' if code == 0 else 'FAIL'}: "
+                  f"{failures} violation(s)")
+        return code
 
     # -- 1. static comm-lint ----------------------------------------------
-    print("== static comm-lint ==")
+    out("== static comm-lint ==")
     if args.module:
         try:
             lint_results = {m: lint_file(m) for m in args.module}
@@ -199,17 +230,18 @@ def cmd_verify_comm(args) -> int:
         lint_results = lint_parallel_modules()
     for path, findings in sorted(lint_results.items()):
         name = path.rsplit("/", 1)[-1]
+        doc["static"][name] = [f.as_dict() for f in findings]
         if findings:
-            failures += len(findings)
-            print(f"{name}: {len(findings)} finding(s)")
             for f in findings:
-                print(f"  {f}")
+                counts[f.severity] = counts.get(f.severity, 0) + 1
+            out(f"{name}: {len(findings)} finding(s)")
+            for f in findings:
+                out(f"  {f}")
         else:
-            print(f"{name}: OK")
+            out(f"{name}: OK")
 
     if args.static_only:
-        print(f"\n{'PASS' if failures == 0 else 'FAIL'}: {failures} violation(s)")
-        return 0 if failures == 0 else 1
+        return finish()
 
     # -- 2+3. dynamic trace check and determinism replay -------------------
     from .matrices import random_nonsymmetric
@@ -282,8 +314,8 @@ def cmd_verify_comm(args) -> int:
         # the trisolve runners reuse the rapid factorization
         runner_1d("rapid")({"trace": False})
 
-    print(f"\n== dynamic trace check (P={P}, {args.machine}, "
-          f"n={om.A.nrows}) ==")
+    out(f"\n== dynamic trace check (P={P}, {args.machine}, "
+        f"n={om.A.nrows}) ==")
     runs = {}
     for name, runner, with_dag in targets:
         res = runner({"trace": True})
@@ -294,27 +326,40 @@ def cmd_verify_comm(args) -> int:
                                schedule=res.schedule)
         else:
             report = check_run(sim, spec=spec)
-        print(f"{name:12s}: {report.summary()}")
+        out(f"{name:12s}: {report.summary()}")
         for v in report.violations:
-            print(f"  {v}")
-        failures += len(report.violations)
+            out(f"  {v}")
+        counts["error"] += len(report.violations)
+        doc["dynamic"].append({
+            "target": name,
+            "summary": report.summary(),
+            "violations": [
+                {"rule": v.rule, "message": v.message}
+                for v in report.violations
+            ],
+        })
 
     if not args.skip_replay:
-        print(f"\n== determinism replay ({args.replays} host orders) ==")
+        out(f"\n== determinism replay ({args.replays} host orders) ==")
         for name, runner, _ in targets:
             rep = replay_check(runner, P, n_orders=args.replays)
-            print(f"{name:12s}: {rep.summary()}")
+            out(f"{name:12s}: {rep.summary()}")
             for m in rep.mismatches:
-                print(f"  {m}")
-            failures += len(rep.mismatches)
+                out(f"  {m}")
+            counts["error"] += len(rep.mismatches)
+            doc["replay"].append({
+                "target": name,
+                "summary": rep.summary(),
+                "mismatches": [str(m) for m in rep.mismatches],
+            })
 
     # -- 4. fault injection: recovered runs must still satisfy the protocol
     if args.fault_rate > 0 or args.crash_recovery:
         from .machine import FaultPlan
         from .parallel import run_1d_resilient
 
-        print(f"\n== fault-injection trace check "
-              f"(drop rate {args.fault_rate}, seed {args.fault_seed}) ==")
+        out(f"\n== fault-injection trace check "
+            f"(drop rate {args.fault_rate}, seed {args.fault_seed}) ==")
 
         def faulty_runner(faults, sim_opts):
             opts = dict(sim_opts)
@@ -327,20 +372,33 @@ def cmd_verify_comm(args) -> int:
             res = faulty_runner(plan, {"trace": True})
             report = check_run(res.sim, spec=spec, tg=tg, schedule=res.schedule)
             fs = res.sim.fault_stats
-            print(f"1d-ca+drops : {report.summary()} "
-                  f"({fs.dropped} dropped, {fs.retransmits} retransmits)")
+            out(f"1d-ca+drops : {report.summary()} "
+                f"({fs.dropped} dropped, {fs.retransmits} retransmits)")
             for v in report.violations:
-                print(f"  {v}")
-            failures += len(report.violations)
+                out(f"  {v}")
+            counts["error"] += len(report.violations)
+            doc["faults"]["drops"] = {
+                "summary": report.summary(),
+                "dropped": fs.dropped,
+                "retransmits": fs.retransmits,
+                "violations": [
+                    {"rule": v.rule, "message": v.message}
+                    for v in report.violations
+                ],
+            }
             if not args.skip_replay:
                 rep = replay_check(
                     lambda so: faulty_runner(plan, so), P,
                     n_orders=args.replays,
                 )
-                print(f"faulty replay: {rep.summary()}")
+                out(f"faulty replay: {rep.summary()}")
                 for m in rep.mismatches:
-                    print(f"  {m}")
-                failures += len(rep.mismatches)
+                    out(f"  {m}")
+                counts["error"] += len(rep.mismatches)
+                doc["faults"]["drops_replay"] = {
+                    "summary": rep.summary(),
+                    "mismatches": [str(m) for m in rep.mismatches],
+                }
 
         if args.crash_recovery:
             # crash a rank mid-factorization, recover via checkpoint/restart
@@ -353,15 +411,21 @@ def cmd_verify_comm(args) -> int:
                 reliable=True, sim_opts={"trace": True},
             )
             nbad = sum(1 for r in rres.rounds if not r.ok)
-            print(f"crash-recovery: {len(rres.rounds)} rounds, {nbad} "
-                  f"restarted, finished on {rres.nprocs_final} ranks")
+            out(f"crash-recovery: {len(rres.rounds)} rounds, {nbad} "
+                f"restarted, finished on {rres.nprocs_final} ranks")
+            crash_doc = {"rounds": len(rres.rounds), "restarted": nbad,
+                         "violations": []}
             for i, sim in enumerate(rres.results):
                 report = check_run(sim, spec=spec)
                 if report.violations:
-                    print(f"  round {i}: {report.summary()}")
+                    out(f"  round {i}: {report.summary()}")
                     for v in report.violations:
-                        print(f"    {v}")
-                failures += len(report.violations)
+                        out(f"    {v}")
+                counts["error"] += len(report.violations)
+                crash_doc["violations"].extend(
+                    {"round": i, "rule": v.rule, "message": v.message}
+                    for v in report.violations
+                )
             recovered_ok = (
                 set(base.factor.blocks) == set(rres.factor.blocks)
                 and all(
@@ -371,13 +435,33 @@ def cmd_verify_comm(args) -> int:
                 )
                 and base.factor.pivot_seq == rres.factor.pivot_seq
             )
-            print(f"recovered factor bit-identical to fault-free: "
-                  f"{'yes' if recovered_ok else 'NO'}")
+            out(f"recovered factor bit-identical to fault-free: "
+                f"{'yes' if recovered_ok else 'NO'}")
             if not recovered_ok:
-                failures += 1
+                counts["error"] += 1
+            crash_doc["recovered_ok"] = recovered_ok
+            doc["faults"]["crash_recovery"] = crash_doc
 
-    print(f"\n{'PASS' if failures == 0 else 'FAIL'}: {failures} violation(s)")
-    return 0 if failures == 0 else 1
+    return finish()
+
+
+def cmd_lint(args) -> int:
+    from pathlib import Path
+
+    from .lint import count_at_or_above, lint_paths, render_json, render_text
+
+    paths = args.paths or [str(Path(__file__).resolve().parent)]
+    select = args.select.split(",") if args.select else None
+    env_names = tuple(args.env_name) if args.env_name else ("env",)
+    findings = lint_paths(paths, env_names=env_names, select=select)
+    if args.json:
+        fail_on = None if args.fail_on == "never" else args.fail_on
+        print(render_json(findings, fail_on=fail_on))
+    else:
+        print(render_text(findings))
+    if args.fail_on == "never":
+        return 0
+    return 1 if count_at_or_above(findings, args.fail_on) else 0
 
 
 def _perturbed(A, rng, rel=0.05):
@@ -603,7 +687,34 @@ def build_parser() -> argparse.ArgumentParser:
     vc.add_argument("--crash-recovery", action="store_true",
                     help="crash a rank mid-run, recover via checkpoint/"
                          "restart and trace-check every committed round")
+    vc.add_argument("--json", action="store_true",
+                    help="emit a machine-readable JSON report instead of text")
+    vc.add_argument("--fail-on", default="warning",
+                    choices=["note", "warning", "error", "never"],
+                    help="exit nonzero when a finding at or above this "
+                         "severity exists (default: warning)")
     vc.set_defaults(func=cmd_verify_comm)
+
+    ln = sub.add_parser(
+        "lint",
+        help="dataflow static analysis: determinism (D1xx) and zero-copy "
+             "aliasing (Z2xx) rules",
+    )
+    ln.add_argument("paths", nargs="*",
+                    help="files or directories to lint (default: the "
+                         "installed repro package)")
+    ln.add_argument("--fail-on", default="warning",
+                    choices=["note", "warning", "error", "never"],
+                    help="exit nonzero when a finding at or above this "
+                         "severity exists (default: warning)")
+    ln.add_argument("--json", action="store_true",
+                    help="emit a machine-readable JSON report instead of text")
+    ln.add_argument("--select",
+                    help="comma-separated rule ids to report (e.g. D101,Z201)")
+    ln.add_argument("--env-name", action="append",
+                    help="SPMD env handle name(s) for the aliasing pass "
+                         "(default: env)")
+    ln.set_defaults(func=cmd_lint)
 
     sd = sub.add_parser(
         "serve-demo",

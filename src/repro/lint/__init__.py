@@ -1,0 +1,58 @@
+"""``repro.lint`` — extensible dataflow static analysis for the repro codebase.
+
+Where :mod:`repro.verify.commlint` is a per-call AST lint of the SPMD
+communication *protocol*, this package checks two deeper invariants the
+S* design depends on, by tracking values through assignments and calls:
+
+* **determinism** (``D1xx`` rules) — nothing that feeds numerics or
+  message-emission order may depend on an unordered collection, global RNG
+  state, wall-clock time, or object identities;
+* **zero-copy aliasing** (``Z2xx`` rules) — a payload posted with
+  ``env.send``/``env.multicast`` must not be mutated afterwards (RMA put
+  semantics), and a received buffer must not be mutated in place while a
+  reference to it is retained elsewhere.
+
+The framework is a rule registry with per-rule severities, per-line
+``# lint: disable=RULE`` suppressions, text/JSON rendering and a
+``repro lint`` CLI verb; the two passes are interprocedural within the
+linted file set (function summaries — "returns a fresh buffer", "returns
+an alias of parameter p", "mutates parameter p", "returns an unordered
+collection" — are resolved across modules via their import graph).
+
+The dynamic counterpart is ``Simulator(sanitize=True)``
+(:mod:`repro.machine.simulator`): payloads are content-hashed at send and
+re-verified at consumption, raising :class:`PayloadMutationError` on a
+zero-copy violation.
+"""
+
+from .core import (
+    Finding,
+    Severity,
+    RULES,
+    RuleInfo,
+    lint_paths,
+    lint_source,
+    lint_file,
+    iter_python_files,
+    render_text,
+    render_json,
+    max_severity,
+    count_at_or_above,
+)
+from . import determinism  # noqa: F401  (registers D1xx rules)
+from . import aliasing  # noqa: F401  (registers Z2xx rules)
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "RULES",
+    "RuleInfo",
+    "lint_paths",
+    "lint_source",
+    "lint_file",
+    "iter_python_files",
+    "render_text",
+    "render_json",
+    "max_severity",
+    "count_at_or_above",
+]

@@ -30,6 +30,7 @@ from .simulator import (
     DeadlockError,
     DeliveryError,
     MessageLostError,
+    PayloadMutationError,
     RankCrashedError,
     Timeout,
     TIMEOUT,
@@ -54,6 +55,7 @@ __all__ = [
     "DeadlockError",
     "DeliveryError",
     "MessageLostError",
+    "PayloadMutationError",
     "RankCrashedError",
     "Timeout",
     "TIMEOUT",

@@ -26,6 +26,7 @@ overlap-degree measurements).
 
 from __future__ import annotations
 
+import hashlib
 import heapq
 from dataclasses import dataclass, field
 
@@ -49,6 +50,31 @@ class DeliveryError(RuntimeError):
         self.dest = dest
         self.tag = tag
         self.attempts = attempts
+
+
+class PayloadMutationError(RuntimeError):
+    """A sender mutated a posted payload before it was consumed.
+
+    Raised by ``Simulator(sanitize=True)``: payloads are content-hashed at
+    send time and re-verified when the receiver consumes them (and at the
+    end of the run for messages never received).  The simulator's defensive
+    deep copy means the receiver still observed the *pre-mutation* bytes —
+    but on a real zero-copy RMA machine it would not have, so the program
+    is incorrect.
+
+    Structured attributes: ``src``, ``dest``, ``tag``, ``send_clock`` (the
+    sender's virtual clock when the payload was posted), and ``span`` (the
+    label of the sender's task span covering the send, or None).
+    """
+
+    def __init__(self, message, src=None, dest=None, tag=None,
+                 send_clock=0.0, span=None):
+        super().__init__(message)
+        self.src = src
+        self.dest = dest
+        self.tag = tag
+        self.send_clock = send_clock
+        self.span = span
 
 
 class MessageLostError(DeliveryError):
@@ -151,6 +177,7 @@ class MessageRecord:
     dropped: bool = False  # lost to fault injection (never deposited)
     duplicate: bool = False  # fault-injected extra copy
     corrupted: bool = False  # payload corrupted in flight
+    mutated: bool = False  # sender wrote to the payload after posting it
 
 
 @dataclass
@@ -212,6 +239,64 @@ def _copy_payload(payload):
     if isinstance(payload, dict):
         return {k: _copy_payload(v) for k, v in payload.items()}
     return payload
+
+
+def _digest_into(h, p) -> None:
+    """Feed a payload's content (with type/shape markers) into a hash."""
+    if p is None:
+        h.update(b"N")
+    elif isinstance(p, np.ndarray):
+        h.update(b"A")
+        h.update(str(p.dtype).encode())
+        h.update(repr(p.shape).encode())
+        h.update(np.ascontiguousarray(p).tobytes())
+    elif isinstance(p, (bool, int, float, complex,
+                        np.integer, np.floating, np.bool_)):
+        h.update(b"S")
+        h.update(repr(p).encode())
+    elif isinstance(p, str):
+        h.update(b"T")
+        h.update(p.encode())
+    elif isinstance(p, bytes):
+        h.update(b"B")
+        h.update(p)
+    elif isinstance(p, (tuple, list)):
+        h.update(b"L(" if isinstance(p, list) else b"U(")
+        for e in p:
+            _digest_into(h, e)
+        h.update(b")")
+    elif isinstance(p, dict):
+        h.update(b"D(")
+        for k in p:
+            h.update(repr(k).encode())
+            _digest_into(h, p[k])
+        h.update(b")")
+    else:
+        h.update(b"O")
+        h.update(repr(p).encode())
+
+
+def _payload_digest(payload) -> bytes:
+    """Content hash of a payload (sanitize mode's write-after-send check)."""
+    h = hashlib.blake2b(digest_size=16)
+    _digest_into(h, payload)
+    return h.digest()
+
+
+class _SanitizeGuard:
+    """Send-time snapshot for one posted payload: the *original* object
+    (not the simulator's defensive copy) plus its content hash.  Re-hashing
+    the original later detects any write the sender made after posting."""
+
+    __slots__ = ("payload", "digest", "src", "dest", "tag", "send_clock")
+
+    def __init__(self, payload, src, dest, tag, send_clock):
+        self.payload = payload
+        self.digest = _payload_digest(payload)
+        self.src = src
+        self.dest = dest
+        self.tag = tag
+        self.send_clock = send_clock
 
 
 def _corrupt_payload(payload):
@@ -299,11 +384,15 @@ class Env:
         :class:`DeliveryError` is raised.
         """
         sim = self._sim
+        guard = (
+            _SanitizeGuard(payload, self.rank, dest, tag, self.clock)
+            if sim.sanitize else None
+        )
         if dest == self.rank:
             # local deposit: no network cost, no faults
             sim._deposit(
                 dest, tag, self.clock, self.rank, _copy_payload(payload),
-                nbytes=0, send_clock=self.clock,
+                nbytes=0, send_clock=self.clock, guard=guard,
             )
             return
         nbytes = _payload_nbytes(payload) if nbytes is None else nbytes
@@ -348,6 +437,7 @@ class Env:
                     dest, tag, arrival, self.rank, pay,
                     nbytes=nbytes, send_clock=t_send,
                     logical=logical, attempt=attempt, corrupted=corrupted,
+                    guard=guard,
                 )
                 if rec is not None and logical is None:
                     logical = rec.seq
@@ -358,6 +448,7 @@ class Env:
                         dest, tag, dup_arrival, self.rank, _copy_payload(pay),
                         nbytes=nbytes, send_clock=t_send,
                         logical=logical, attempt=attempt, duplicate=True,
+                        guard=guard,
                     )
                 if rel is not None:
                     # block until the ack returns
@@ -464,6 +555,7 @@ class Simulator:
         faults=None,
         reliable=None,
         heartbeat_s: float = None,
+        sanitize: bool = False,
     ):
         """``program(env, *args)`` must return a generator (it may also be a
         plain function for compute-only ranks).
@@ -480,9 +572,17 @@ class Simulator:
         defaults or a :class:`ReliableDelivery` config).  ``heartbeat_s`` is
         the virtual-time heartbeat timeout after which survivors declare a
         silent rank dead (default: 100x the network latency).
+
+        ``sanitize=True`` enables the zero-copy write-after-send checker:
+        every payload is content-hashed when posted and re-verified when
+        consumed (and at the end of the run for messages never received);
+        a mismatch raises :class:`PayloadMutationError` naming the sender,
+        tag and the sender's task span covering the send.  This is the
+        dynamic counterpart of the ``Z201`` rule in :mod:`repro.lint`.
         """
         self.nprocs = nprocs
         self.spec = spec
+        self.sanitize = bool(sanitize)
         self._mailboxes = {}  # (dest, tag) -> heap of (arrival, seq, payload)
         self._seq = 0
         self.faults = faults
@@ -512,7 +612,8 @@ class Simulator:
     # -- mailbox -----------------------------------------------------------
 
     def _deposit(self, dest, tag, arrival, src, payload, nbytes=0, send_clock=0.0,
-                 logical=None, attempt=0, duplicate=False, corrupted=False):
+                 logical=None, attempt=0, duplicate=False, corrupted=False,
+                 guard=None):
         self._seq += 1
         record = None
         if self.trace is not None:
@@ -525,7 +626,7 @@ class Simulator:
             self.trace.records.append(record)
         heapq.heappush(
             self._mailboxes.setdefault((dest, tag), []),
-            (arrival, self._seq, payload, src, record),
+            (arrival, self._seq, payload, src, record, guard),
         )
         return record
 
@@ -550,19 +651,46 @@ class Simulator:
     def _try_fetch(self, dest, tag):
         box = self._mailboxes.get((dest, tag))
         if box:
-            arrival, _, payload, _, record = heapq.heappop(box)
+            arrival, _, payload, _, record, guard = heapq.heappop(box)
             if not box:
                 del self._mailboxes[(dest, tag)]
-            return arrival, payload, record
+            return arrival, payload, record, guard
         return None
 
     def _pending_by_rank(self) -> dict:
         """Undelivered mailbox contents, grouped per destination rank."""
         pending = {}
         for (dest, tag), box in self._mailboxes.items():
-            for arrival, _, _, src, _ in sorted(box, key=lambda e: e[:2]):
+            for arrival, _, _, src, _, _ in sorted(box, key=lambda e: e[:2]):
                 pending.setdefault(dest, []).append((tag, arrival, src))
         return pending
+
+    # -- sanitize mode -------------------------------------------------------
+
+    def _sending_span(self, src, send_clock):
+        """Label of the sender's task span covering ``send_clock``, if any."""
+        label = None
+        for s in self.envs[src].spans:
+            if s.start <= send_clock <= s.end:
+                label = s.label  # keep the last (innermost) match
+        return label
+
+    def _check_guard(self, guard, record=None, when="it was consumed"):
+        """Re-verify a posted payload's content hash; raise on mutation."""
+        if guard is None or _payload_digest(guard.payload) == guard.digest:
+            return
+        if record is not None:
+            record.mutated = True
+        span = self._sending_span(guard.src, guard.send_clock)
+        where = f" during span {span!r}" if span is not None else ""
+        raise PayloadMutationError(
+            f"rank {guard.src} posted tag {guard.tag!r} to rank "
+            f"{guard.dest} at t={guard.send_clock:.3g}{where}, then mutated "
+            f"the payload before {when}; zero-copy put semantics forbid "
+            "write-after-send (post a defensive .copy())",
+            src=guard.src, dest=guard.dest, tag=guard.tag,
+            send_clock=guard.send_clock, span=span,
+        )
 
     def _deadlock_error(self, blocked, state, waiting_tag, RECV) -> DeadlockError:
         """Build a DeadlockError naming, per blocked rank, the tag it waits
@@ -722,7 +850,9 @@ class Simulator:
                         crash(r, at=ct)
                         progressed = True
                         continue
-                    arrival, payload, record = self._try_fetch(r, waiting_tag[r])
+                    arrival, payload, record, guard = self._try_fetch(
+                        r, waiting_tag[r])
+                    self._check_guard(guard, record)
                     env.clock = max(env.clock, arrival)
                     if record is not None:
                         record.consumed = True
@@ -789,6 +919,12 @@ class Simulator:
             # should not happen: READY ranks are resumed inside resume()
             raise AssertionError("scheduler invariant violated")
 
+        if self.sanitize:
+            # messages never received: still verify the sender kept its
+            # hands off the posted buffers until the end of the run
+            for box in self._mailboxes.values():
+                for _, _, _, _, record, guard in box:
+                    self._check_guard(guard, record, when="the run ended")
         spans = []
         for env in self.envs:
             spans.extend(env.spans)

@@ -208,7 +208,7 @@ def circuit_like(n: int, fanout: int = 3, seed: int = 0) -> CSRMatrix:
                     vals.append(rng.uniform(-1.5, 1.5))
     # a few global rails touching many nodes
     nrails = max(1, n // 200)
-    for r in range(nrails):
+    for _ in range(nrails):
         rail = int(rng.integers(0, n))
         touched = rng.choice(n, size=min(n, 20), replace=False)
         for q in touched:

@@ -134,7 +134,7 @@ def factor_block_column(
 
     # scatter the panel back into the blocks
     off = 0
-    for I, blk in panel_blocks:
+    for _I, blk in panel_blocks:
         rows = blk.shape[0]
         blk[:, :] = panel[off : off + rows, :]
         off += rows

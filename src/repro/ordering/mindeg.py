@@ -69,11 +69,11 @@ def minimum_degree(G: CSRMatrix, multiple: bool = True) -> MinDegreeResult:
             clique = adj[v]
             indistinct = [
                 u
-                for u in clique
+                for u in sorted(clique)
                 if not eliminated[u] and adj[u] - {v} == clique - {u}
             ]
             # eliminate v: neighbours form a clique
-            nb = [u for u in clique if not eliminated[u]]
+            nb = [u for u in sorted(clique) if not eliminated[u]]
             for idx, a in enumerate(nb):
                 for b in nb[idx + 1 :]:
                     if b not in adj[a]:
@@ -91,7 +91,7 @@ def minimum_degree(G: CSRMatrix, multiple: bool = True) -> MinDegreeResult:
                     eliminated[u] = True
                     perm.append(u)
                     remaining -= 1
-                    for w in adj[u]:
+                    for w in sorted(adj[u]):
                         adj[w].discard(u)
                     adj[u] = set()
             # refresh degrees locally

@@ -58,7 +58,7 @@ def _distribute_1d(
     if full is None:
         full = BlockLUMatrix.from_csr(A, part, bstruct)
     locals_ = []
-    for p in range(nprocs):
+    for _ in range(nprocs):
         m = BlockLUMatrix(part, bstruct)
         locals_.append(m)
     for (I, J), blk in full.blocks.items():
@@ -110,11 +110,14 @@ def _rank_program(env, ctx):
             )
             env.compute_counted(snap)
             env.span(f"F{k}", t0)
+            # pack a fresh send buffer: fc holds views into the local
+            # storage ``m``, which later Factor/Update tasks keep mutating
+            # while the posted payload is still in flight (Z201)
             payload = {
-                "K": k,
-                "pivots": fc.pivots,
-                "diag": fc.diag,
-                "lblocks": fc.lblocks,
+                "K": int(k),
+                "pivots": list(fc.pivots),
+                "diag": fc.diag.copy(),
+                "lblocks": {I: b.copy() for I, b in fc.lblocks.items()},
             }
             if broadcast:
                 dests = [p for p in range(env.nprocs) if p != env.rank]
@@ -217,7 +220,7 @@ def run_1d(
     merged = BlockLUMatrix(part, bstruct)
     for m in locals_:
         merged.blocks.update(m.blocks)
-    for p, ret in enumerate(sim.returns):
+    for ret in sim.returns:
         if ret is None:  # rank crashed; its state is on the restart path
             continue
         for K, seq in enumerate(ret["pivot_seq"]):

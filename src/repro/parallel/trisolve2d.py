@@ -104,7 +104,7 @@ def _program(env, ctx):
             snap = env.snapshot()
             unit_lower_solve(blocks[(K, K)], xk, counter=env.counter)
             env.compute_counted(snap)
-            env.multicast(grid.col_ranks(K % pc), ("2dxk", K), xk)
+            env.multicast(grid.col_ranks(K % pc), ("2dxk", K), xk.copy())
             xk_local = xk
         elif c == K % pc:
             xk_local = yield env.recv(("2dxk", K))
@@ -156,7 +156,7 @@ def _program(env, ctx):
             snap = env.snapshot()
             upper_solve(blocks[(K, K)], xk, counter=env.counter)
             env.compute_counted(snap)
-            env.multicast(grid.col_ranks(K % pc), ("2dxb", K), xk)
+            env.multicast(grid.col_ranks(K % pc), ("2dxb", K), xk.copy())
             if c == K % pc:
                 xj_local[K] = xk
         elif c == K % pc:

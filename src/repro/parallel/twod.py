@@ -101,7 +101,9 @@ def _pack_row(blocks, part, cols, pos):
     for J in cols:
         blk = blocks.get((I, J))
         if blk is not None:
-            out[J] = blk[o]
+            # copy, not a view: the row is posted zero-copy while the local
+            # block keeps being updated (Z201)
+            out[J] = blk[o].copy()
     return out
 
 
@@ -174,7 +176,8 @@ def _rank_program_2d(env, ctx):
                 env.send(
                     grid.rank(diag_r, c),
                     ("pmax", K, m, r),
-                    (best_abs, best_pos, None if best_row is None else best_row),
+                    (best_abs, best_pos,
+                     None if best_row is None else best_row.copy()),
                 )
                 t_pos, piv_row, old_row = yield env.recv(("pbest", K, m))
             else:

@@ -90,7 +90,7 @@ class BlockStructure:
         total_cols = 0
         full_blocks = 0
         nblocks = 0
-        for (I, J), cols in self.udense_cols.items():
+        for (_I, J), cols in self.udense_cols.items():
             nblocks += 1
             total_cols += len(cols)
             if len(cols) == self.part.size(J):

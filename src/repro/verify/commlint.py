@@ -32,6 +32,15 @@ from pathlib import Path
 SEND_OPS = ("send", "multicast")
 YIELD_OPS = ("recv", "barrier")
 
+#: severity per rule: Y01/T01 are certain protocol bugs; T02/T03 are
+#: module-local heuristics (a matching site may live in another module)
+RULE_SEVERITY = {
+    "Y01": "error",
+    "T01": "error",
+    "T02": "warning",
+    "T03": "warning",
+}
+
 
 @dataclass
 class LintFinding:
@@ -42,9 +51,23 @@ class LintFinding:
     line: int
     col: int
     message: str
+    severity: str = "warning"
 
     def __str__(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.severity} {self.rule} {self.message}"
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
 
 
 @dataclass
@@ -130,7 +153,8 @@ class _Linter:
     def _emit(self, rule, node, message):
         if not self._suppressed(node.lineno):
             self.findings.append(
-                LintFinding(rule, self.path, node.lineno, node.col_offset, message)
+                LintFinding(rule, self.path, node.lineno, node.col_offset,
+                            message, RULE_SEVERITY.get(rule, "warning"))
             )
 
     def _comm_op(self, call: ast.Call):

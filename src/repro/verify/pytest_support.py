@@ -27,13 +27,22 @@ from .tracecheck import check_messages, ProtocolViolationError
 
 
 @contextmanager
-def trace_checked_simulations(check_leaks: bool = True):
-    """Patch ``Simulator.run`` to verify the message protocol of each run."""
+def trace_checked_simulations(check_leaks: bool = True, sanitize: bool = True):
+    """Patch ``Simulator.run`` to verify the message protocol of each run.
+
+    ``sanitize=True`` (the default) additionally turns on the simulator's
+    zero-copy write-after-send checker for every run in the context, so a
+    rank program that mutates a posted payload fails the test with a typed
+    :class:`repro.machine.PayloadMutationError` even though the simulator's
+    defensive copy would have hidden the bug.
+    """
     orig_run = Simulator.run
 
     def checked_run(self):
         if self.trace is None:
             self.trace = SimTrace()
+        if sanitize:
+            self.sanitize = True
         result = orig_run(self)
         violations = check_messages(
             self.trace, spec=self.spec, crashed=getattr(result, "crashed", ())

@@ -124,7 +124,7 @@ def replay_check(runner, nprocs: int, n_orders: int = 3, seed: int = 12345):
     """
     report = ReplayReport()
     base = None
-    for i, order in enumerate(host_orders(nprocs, n_orders, seed)):
+    for order in host_orders(nprocs, n_orders, seed):
         outcome = _as_sim_result(runner({"trace": True, "host_order": order}))
         report.runs += 1
         if base is None:

@@ -10,6 +10,9 @@ simulator documents but cannot enforce cheaply during execution:
   unconsumed mailbox entry means a lost multicast or a dropped ``yield``);
 * **CAUSAL** — every arrival respects the latency/bandwidth model and no
   receiver resumes before its message arrived;
+* **MUTATE** — no sender wrote to a posted payload before it was consumed
+  (records flagged by ``Simulator(sanitize=True)``, the dynamic
+  counterpart of the ``Z201`` lint rule);
 * **DAG** (1D codes) — the executed task spans, parsed from their labels
   (``F{k}`` / ``U{k},{j}``), cover the :class:`repro.taskgraph.TaskGraph`
   exactly once each, on the scheduled owner rank, in an order that
@@ -135,6 +138,13 @@ def check_messages(trace, spec=None, crashed=()) -> list:
                 "CAUSAL",
                 f"rank {r.dest} consumed tag {r.tag!r} at t={r.recv_time:.6g} "
                 f"before its arrival t={r.arrival:.6g}",
+            ))
+        if getattr(r, "mutated", False):
+            violations.append(Violation(
+                "MUTATE",
+                f"rank {r.src} mutated the payload of tag {r.tag!r} "
+                f"(posted to rank {r.dest} at t={r.send_clock:.3g}) after "
+                "sending it: write-after-send under zero-copy put semantics",
             ))
     return violations
 

@@ -20,17 +20,20 @@ TRACE_CHECKED_MODULES = {
     "tests.test_parallel_2d",
     "tests.test_trisolve",
     "tests.test_service",
+    "tests.test_resilience",
     "test_parallel_1d",
     "test_parallel_2d",
     "test_trisolve",
     "test_service",
+    "test_resilience",
 }
 
 
 @pytest.fixture(scope="module", autouse=True)
 def _comm_trace_check(request):
     """Trace-check every simulation in the parallel-code test modules: tag
-    collisions, leaked messages and causality violations fail the test."""
+    collisions, leaked messages, causality violations and write-after-send
+    payload mutations (``sanitize=True``) fail the test."""
     if getattr(request.module, "__name__", "") not in TRACE_CHECKED_MODULES:
         yield
         return

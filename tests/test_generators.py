@@ -96,7 +96,7 @@ class TestSuite:
             assert A.nrows > 50
 
     def test_paper_metadata_present(self):
-        for name, spec in SUITE.items():
+        for spec in SUITE.values():
             assert spec.paper_order > 0
             assert spec.paper_nnz > 0
             assert spec.paper_symmetry >= 1.0

@@ -88,7 +88,7 @@ class TestGanttReplay:
         assert chart.makespan > 0
         # intervals do not overlap within a processor
         for row in chart.rows():
-            for (t1, s1, e1), (t2, s2, e2) in zip(row, row[1:]):
+            for (_t1, _s1, e1), (_t2, s2, _e2) in zip(row, row[1:]):
                 assert e1 <= s2 + 1e-12
 
     def test_unit_weight_mode(self, tg):

@@ -63,7 +63,7 @@ def test_random_programs_terminate_and_deliver(seed, nprocs, nops):
     log = []
     res = Simulator(nprocs, GENERIC, _program, args=(ops, log)).run()
     # every recv consumed the payload with its own tag
-    for rank, want_tag, got_tag, stamp, at in log:
+    for _rank, want_tag, got_tag, stamp, at in log:
         assert want_tag == got_tag
         # causality: receipt happens no earlier than the send stamp
         assert at >= stamp - 1e-15

@@ -145,7 +145,7 @@ class TestTraceCheck:
                 for i in range(2):  # same (dest, tag) twice: collision
                     env.send(1, ("t", 0), i)
             else:
-                for i in range(2):
+                for _ in range(2):
                     yield env.recv(("t", 0))
 
         res = run_traced(2, prog)
