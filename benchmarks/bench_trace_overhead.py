@@ -1,0 +1,97 @@
+"""Tracing overhead — wall-clock cost of ``repro.obs`` instrumentation.
+
+Not a paper table: this measures what span tracing costs in *host*
+wall-clock time on the Table 3 workloads (1D RAPID factorization).  Three
+timings per matrix, each the median of ``REPS`` runs:
+
+* **off** — baseline, no tracer (every instrumentation site is a single
+  ``is None`` test);
+* **off2** — a second tracer-less pass, so the off-vs-off delta bounds the
+  measurement jitter: tracing *disabled* must cost nothing beyond it;
+* **on** — a live :class:`repro.obs.Tracer` collecting every span,
+  message record and counter (target: < 15% over baseline).
+
+Rows land in ``benchmarks/results/BENCH_trace_overhead.json``.
+"""
+
+import time
+
+import pytest
+
+from conftest import print_table, save_results
+from repro.machine import T3E
+from repro.obs import Tracer
+from repro.parallel import run_1d
+
+MATRICES = ["sherman5", "lnsp3937", "orsreg1"]
+NPROCS = 8
+REPS = 3
+
+
+def _median_seconds(fn) -> float:
+    times = []
+    for _ in range(REPS):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return sorted(times)[len(times) // 2]
+
+
+@pytest.fixture(scope="module")
+def overhead_rows(ctx_cache):
+    rows = []
+    for name in MATRICES:
+        ctx = ctx_cache(name)
+        args = (ctx.ordered.A, ctx.part, ctx.bstruct, NPROCS, T3E)
+
+        def run(sim_opts=None):
+            return run_1d(*args, method="rapid", sim_opts=sim_opts)
+
+        run()  # warm caches before timing
+        t_off = _median_seconds(run)
+        t_off2 = _median_seconds(run)
+
+        tracers = []
+
+        def run_traced():
+            tr = Tracer()
+            tracers.append(tr)
+            return run(sim_opts={"tracer": tr})
+
+        t_on = _median_seconds(run_traced)
+        nspans = len(tracers[-1].spans)
+
+        rows.append({
+            "matrix": name,
+            "n": ctx.ordered.A.nrows,
+            "off_s": t_off,
+            "jitter": t_off2 / t_off - 1.0,
+            "on_s": t_on,
+            "on_overhead": t_on / t_off - 1.0,
+            "spans": nspans,
+            "messages": len(tracers[-1].messages),
+        })
+    return rows
+
+
+def test_trace_overhead_report(overhead_rows):
+    header = ["matrix", "n", "off (s)", "jitter", "on (s)", "overhead",
+              "spans", "msgs"]
+    rows = [
+        (
+            r["matrix"], r["n"], f"{r['off_s']:.4g}",
+            f"{r['jitter']:+.1%}", f"{r['on_s']:.4g}",
+            f"{r['on_overhead']:+.1%}", r["spans"], r["messages"],
+        )
+        for r in overhead_rows
+    ]
+    print_table("Tracing overhead (wall clock, 1D RAPID)", header, rows)
+    save_results("BENCH_trace_overhead", overhead_rows)
+
+    for r in overhead_rows:
+        # Loose CI-safe bounds; the JSON records the actual numbers.  The
+        # design target is < 15% enabled and ~0% disabled — enforced here
+        # only up to scheduler noise on shared runners.
+        assert r["on_overhead"] < 0.50, (
+            f"{r['matrix']}: tracing overhead {r['on_overhead']:+.1%}")
+        assert r["spans"] > 0 and r["messages"] > 0

@@ -24,6 +24,7 @@ from typing import Optional
 import numpy as np
 
 from ..machine import T3D, T3E, GENERIC, MachineSpec, FaultPlan
+from ..obs import PHASE, as_tracer
 from ..numfact import (
     LUFactorization,
     NumericalError,
@@ -105,6 +106,15 @@ class SStarSolver:
         factorization whose growth factor exceeds this (or that had to
         perturb pivots) drops the pattern's cache entry, forcing the next
         factorization to re-derive the analysis.
+    trace:
+        Observability: ``True`` creates a fresh :class:`repro.obs.Tracer`,
+        or pass an existing tracer to share one timeline across solvers.
+        Pipeline phases (transversal/ordering/symbolic/partition/numfact/
+        trisolve) land on the ``pipeline/main`` track with deterministic
+        modeled virtual durations; parallel methods additionally record
+        per-rank simulator spans and send→recv messages.  The tracer is
+        exposed as ``solver.tracer``; export it with
+        :func:`repro.obs.to_chrome_trace`.
     """
 
     def __init__(
@@ -124,6 +134,7 @@ class SStarSolver:
         ckpt_interval: Optional[int] = None,
         analysis_cache=None,
         growth_limit: float = 1e8,
+        trace=None,
     ):
         self.block_size = block_size
         self.amalgamation = amalgamation
@@ -146,6 +157,7 @@ class SStarSolver:
         )
         self.analysis_cache = analysis_cache
         self.growth_limit = growth_limit
+        self.tracer = as_tracer(trace)
         self._lu: LUFactorization = None
         self._om = None
         self._A: CSRMatrix = None
@@ -203,8 +215,15 @@ class SStarSolver:
             if art is None and self._artifacts is not None and self._artifacts.key == key:
                 art = self._artifacts
             if art is not None:
+                if self.tracer is not None:
+                    self.tracer.instant(
+                        "pipeline/main", "analysis reused",
+                        t=self.tracer.track_end("pipeline/main"),
+                        args={"pattern": key},
+                    )
                 return art, art.order(A), cache_key, True
-        art, om = analyze(A, self.block_size, self.amalgamation)
+        art, om = analyze(A, self.block_size, self.amalgamation,
+                          tracer=self.tracer)
         return art, om, cache_key, False
 
     def _factor_impl(self, A, reuse: bool) -> "SStarSolver":
@@ -230,6 +249,8 @@ class SStarSolver:
             sim_opts["faults"] = self.faults
         if self.reliable is not None:
             sim_opts["reliable"] = self.reliable
+        if self.tracer is not None:
+            sim_opts["tracer"] = self.tracer
         has_crashes = self.faults is not None and bool(self.faults.crashes)
         resilient = not sequential and (has_crashes or self.ckpt_interval is not None)
 
@@ -265,6 +286,8 @@ class SStarSolver:
                     pivot_threshold=self.pivot_threshold,
                     monitor=monitor,
                 )
+                if self.tracer is not None:
+                    kwargs["sim_opts"] = {"tracer": self.tracer}
                 if oned:
                     res = run_1d_resilient(
                         om.A, part, bstruct, self.nprocs, self.spec,
@@ -310,6 +333,26 @@ class SStarSolver:
                 messages, bytes_sent = res.sim.messages, res.sim.bytes_sent
         else:
             raise ValueError(f"unknown method {self.method!r}")
+
+        if self.tracer is not None:
+            # the numfact phase span: simulated makespan for parallel runs,
+            # modeled kernel time for sequential ones — virtual either way
+            t0 = self.tracer.track_end("pipeline/main")
+            dur = (
+                parallel_seconds if parallel_seconds is not None
+                else self.spec.kernel_seconds(counter.by_gran)
+            )
+            self.tracer.span(
+                "pipeline/main", "numfact", PHASE, t0, t0 + dur,
+                {"method": self.method, "flops": float(counter.total),
+                 "reused_analysis": bool(reused)},
+            )
+            if monitor is not None and monitor.perturbations:
+                self.tracer.metrics.counter(
+                    "numfact.pivot_perturbations"
+                ).inc(len(monitor.perturbations))
+            if restarts:
+                self.tracer.metrics.counter("numfact.restarts").inc(restarts)
 
         self._lu = lu
         self._om = om
@@ -377,6 +420,19 @@ class SStarSolver:
             raise ValueError(
                 f"rhs must have shape ({self._lu.n},) or ({self._lu.n}, k); "
                 f"got {b.shape}"
+            )
+        if self.tracer is not None:
+            # modeled virtual cost of the two triangular sweeps: ~4 flops
+            # per factor entry per right-hand side, panel (dgemm) rate for
+            # block solves, dgemv for single vectors
+            k = 1 if b.ndim == 1 else int(b.shape[1])
+            kernel = "dgemm" if k > 1 else "dgemv"
+            flops = 4.0 * self.report.factor_entries * k
+            t0 = self.tracer.track_end("pipeline/main")
+            self.tracer.span(
+                "pipeline/main", "trisolve", PHASE,
+                t0, t0 + flops / self.spec.kernel_rate(kernel),
+                {"k": k, "flops": flops},
             )
         perturbed = self.monitor is not None and bool(self.monitor.perturbations)
         want_refine = self.refine == "always" or (

@@ -8,6 +8,10 @@ Commands
 ``factor``     run the S* factorization and print the report
 ``solve``      factor and solve ``A x = b`` (random or file rhs)
 ``simulate``   run a parallel factorization on the simulated T3D/T3E
+``trace``      run a traced factorization and write a Chrome/Perfetto
+               trace_event JSON (per-rank spans + send→recv flow arrows)
+``profile``    per-rank busy/comm/idle breakdown, critical path and
+               model-vs-observed drift from a traced run (or a saved trace)
 ``validate``   run the full invariant battery on a matrix
 ``verify-comm`` static + dynamic + replay communication-protocol analyses
 ``lint``       dataflow static analysis: determinism (D1xx) and zero-copy
@@ -164,6 +168,87 @@ def cmd_simulate(args) -> int:
         print(f"checkpoint rounds     : {len(res.rounds)} "
               f"({r.restarts} restarted after crashes; finished on "
               f"{res.nprocs_final} ranks)")
+    return 0
+
+
+#: ``repro trace``/``repro profile`` mode shorthands
+_TRACE_MODES = {"1d": "1d-rapid", "2d": "2d"}
+
+
+def _traced_run(args):
+    """Factor (and solve once) with a fresh tracer; returns the solver."""
+    from . import SStarSolver
+    from .obs import Tracer
+
+    method = _TRACE_MODES.get(args.mode, args.mode)
+    A = _load(args.matrix)
+    solver = SStarSolver(
+        nprocs=args.nprocs, method=method, machine=args.machine,
+        trace=Tracer(),
+    ).factor(A)
+    solver.solve(np.ones(A.nrows))  # cover the trisolve phase too
+    return solver
+
+
+def cmd_trace(args) -> int:
+    import json
+
+    from .obs import render_summary, to_chrome_trace, validate_trace
+
+    solver = _traced_run(args)
+    tracer = solver.tracer
+    doc = to_chrome_trace(tracer)
+    with open(args.out, "w") as f:
+        json.dump(doc, f)
+    print(f"wrote {args.out}: {len(doc['traceEvents'])} events "
+          f"({len(tracer.spans)} spans, {len(tracer.messages)} messages)")
+    print(render_summary(tracer))
+    if args.check:
+        problems = validate_trace(doc)
+        if problems:
+            for p in problems:
+                print(f"schema: {p}", file=sys.stderr)
+            return 1
+        print("schema: OK")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from .obs import from_chrome_trace, profile_trace, reconcile
+
+    if args.trace:
+        import json
+
+        with open(args.trace) as f:
+            doc = json.load(f)
+        spans, messages = from_chrome_trace(doc)
+        prof = profile_trace(spans, messages)
+        print(f"trace    : {args.trace}")
+        print(prof.render(args.top))
+        return 0
+    if not args.matrix:
+        print("profile: give a matrix to run, or --trace FILE to load",
+              file=sys.stderr)
+        return 2
+    solver = _traced_run(args)
+    total = (
+        solver.sim_result.total_time
+        if solver.sim_result is not None else None
+    )
+    prof = profile_trace(solver.tracer, total_time=total)
+    print(f"matrix   : {args.matrix}  mode={args.mode} P={args.nprocs} "
+          f"machine={args.machine}")
+    print(prof.render(args.top))
+    if solver.sim_result is not None:
+        from .taskgraph import build_task_graph
+
+        tg = build_task_graph(solver._artifacts.bstruct)
+        rec = reconcile(prof, tg, solver.spec)
+        print(f"model critical path : "
+              f"{rec['model_critical_path_seconds']:.6e} s")
+        print(f"model-vs-observed drift: {rec['drift'] * 100.0:+.1f}%")
+        err = abs(prof.critical_path_seconds - total)
+        print(f"critical path vs simulator total: |diff| = {err:.3e} s")
     return 0
 
 
@@ -649,6 +734,40 @@ def build_parser() -> argparse.ArgumentParser:
                    help="stages per checkpoint round (enables the "
                         "checkpoint/restart driver)")
     m.set_defaults(func=cmd_simulate)
+
+    tr = sub.add_parser(
+        "trace",
+        help="traced factorization -> Chrome/Perfetto trace_event JSON",
+    )
+    tr.add_argument("matrix")
+    tr.add_argument("--mode", default="2d",
+                    choices=["1d", "2d", "1d-rapid", "1d-ca", "2d-sync"],
+                    help="1d is shorthand for 1d-rapid")
+    tr.add_argument("--nprocs", type=int, default=8)
+    tr.add_argument("--machine", default="T3E",
+                    choices=["T3D", "T3E", "GENERIC"])
+    tr.add_argument("--out", default="trace.json",
+                    help="output trace file (load in ui.perfetto.dev)")
+    tr.add_argument("--check", action="store_true",
+                    help="validate the emitted JSON against the trace "
+                         "schema; nonzero exit on problems")
+    tr.set_defaults(func=cmd_trace)
+
+    pf = sub.add_parser(
+        "profile",
+        help="busy/comm/idle breakdown + critical path of a traced run",
+    )
+    pf.add_argument("matrix", nargs="?",
+                    help="matrix to run (omit when loading --trace)")
+    pf.add_argument("--trace", help="profile a saved trace JSON instead")
+    pf.add_argument("--mode", default="2d",
+                    choices=["1d", "2d", "1d-rapid", "1d-ca", "2d-sync"])
+    pf.add_argument("--nprocs", type=int, default=8)
+    pf.add_argument("--machine", default="T3E",
+                    choices=["T3D", "T3E", "GENERIC"])
+    pf.add_argument("--top", type=int, default=5,
+                    help="how many longest spans to list")
+    pf.set_defaults(func=cmd_profile)
 
     v = sub.add_parser("validate", help="run the invariant battery on a matrix")
     v.add_argument("matrix")

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..numfact.counter import KernelCounter
+from ..obs import tracer as _obs
 from .faults import CORRUPT, DELAY, DROP, DUPLICATE, FaultStats, ReliableDelivery
 from .specs import MachineSpec
 
@@ -354,20 +355,30 @@ class Env:
         if nflops <= 0:
             return
         dt = self._sim.spec.compute_seconds(kernel, nflops, gran)
+        t0 = self.clock
         self.clock += dt
         self.busy += dt
         self.counter.add(kernel, nflops, gran)
+        tr = self._sim.tracer
+        if tr is not None:
+            tr.span(self.rank, kernel, _obs.COMPUTE, t0, self.clock,
+                    {"nflops": float(nflops)})
 
     def compute_counted(self, counter_before: dict) -> None:
         """Charge the *difference* between the rank counter and a snapshot —
         convenient when numeric kernels already did their own accounting."""
+        tr = self._sim.tracer
         for key, v in self.counter.by_gran.items():
             prev = counter_before.get(key, 0.0)
             if v > prev:
                 kernel, gran = key
                 dt = self._sim.spec.compute_seconds(kernel, v - prev, gran)
+                t0 = self.clock
                 self.clock += dt
                 self.busy += dt
+                if tr is not None:
+                    tr.span(self.rank, kernel, _obs.COMPUTE, t0, self.clock,
+                            {"nflops": float(v - prev)})
 
     def snapshot(self) -> dict:
         return dict(self.counter.by_gran)
@@ -384,6 +395,7 @@ class Env:
         :class:`DeliveryError` is raised.
         """
         sim = self._sim
+        tr = sim.tracer
         guard = (
             _SanitizeGuard(payload, self.rank, dest, tag, self.clock)
             if sim.sanitize else None
@@ -409,6 +421,11 @@ class Env:
             self.sent_bytes += nbytes
             if attempt > 0:
                 sim.fault_stats.retransmits += 1
+            if tr is not None:
+                sim._m_messages.inc()
+                sim._m_bytes.inc(nbytes)
+                if attempt > 0:
+                    sim._m_retransmits.inc()
 
             rule = (
                 plan.message_fault(self.rank, dest, tag, attempt)
@@ -422,15 +439,21 @@ class Env:
                 corrupted = _corrupt_payload(pay)
                 if corrupted:
                     sim.fault_stats.corrupted += 1
+                    if tr is not None:
+                        tr.metrics.counter("sim.faults.corrupted").inc()
             if action == DELAY:
                 arrival += rule.delay_s
                 sim.fault_stats.delayed += 1
+                if tr is not None:
+                    tr.metrics.counter("sim.faults.delayed").inc()
             dropped = action == DROP
             # with checksums, a corrupted frame is discarded at the
             # receiver's NIC — it behaves like a drop and gets retried
             failed = dropped or (corrupted and rel is not None and rel.checksum)
             if dropped:
                 sim.fault_stats.dropped += 1
+                if tr is not None:
+                    tr.metrics.counter("sim.faults.dropped").inc()
 
             if not failed:
                 rec = sim._deposit(
@@ -443,6 +466,8 @@ class Env:
                     logical = rec.seq
                 if action == DUPLICATE:
                     sim.fault_stats.duplicated += 1
+                    if tr is not None:
+                        tr.metrics.counter("sim.faults.duplicated").inc()
                     dup_arrival = arrival + spec.latency_s
                     sim._deposit(
                         dest, tag, dup_arrival, self.rank, _copy_payload(pay),
@@ -453,6 +478,13 @@ class Env:
                 if rel is not None:
                     # block until the ack returns
                     self.clock = max(self.clock, arrival + rel.ack(spec))
+                if tr is not None:
+                    tr.span(
+                        self.rank, f"send {_obs.tag_label(tag)}", _obs.SEND,
+                        t_send, self.clock,
+                        {"dest": int(dest), "nbytes": int(nbytes),
+                         "attempt": int(attempt)},
+                    )
                 return
 
             # failed attempt: record it (dropped, never deposited)
@@ -463,6 +495,13 @@ class Env:
             )
             if rec is not None and logical is None:
                 logical = rec.seq
+            if tr is not None:
+                tr.span(
+                    self.rank, f"send {_obs.tag_label(tag)}", _obs.SEND,
+                    t_send, self.clock,
+                    {"dest": int(dest), "nbytes": int(nbytes),
+                     "attempt": int(attempt), "lost": True},
+                )
             if rel is None:
                 # one-sided put: the sender never learns the message died;
                 # remember the loss so a blocked receiver gets a typed
@@ -471,7 +510,14 @@ class Env:
                 return
             if attempt + 1 < attempts:
                 # retransmission timeout with exponential backoff
+                t_back = self.clock
                 self.clock += rel.rto(spec) * (2.0 ** attempt)
+                if tr is not None:
+                    tr.span(
+                        self.rank, f"rto {_obs.tag_label(tag)}",
+                        _obs.RETRANSMIT, t_back, self.clock,
+                        {"dest": int(dest), "attempt": int(attempt)},
+                    )
         raise DeliveryError(
             f"rank {self.rank} -> {dest} tag {tag!r}: all {attempts} "
             "transmission attempts lost",
@@ -502,9 +548,11 @@ class Env:
 
     def span(self, label: str, start: float, end: float = None) -> None:
         """Record a labeled task interval ending at the current clock."""
-        self.spans.append(
-            TaskSpan(self.rank, label, start, self.clock if end is None else end)
-        )
+        end = self.clock if end is None else end
+        self.spans.append(TaskSpan(self.rank, label, start, end))
+        tr = self._sim.tracer
+        if tr is not None:
+            tr.span(self.rank, label, _obs.TASK, start, end)
 
 
 @dataclass
@@ -556,6 +604,7 @@ class Simulator:
         reliable=None,
         heartbeat_s: float = None,
         sanitize: bool = False,
+        tracer=None,
     ):
         """``program(env, *args)`` must return a generator (it may also be a
         plain function for compute-only ranks).
@@ -579,10 +628,23 @@ class Simulator:
         a mismatch raises :class:`PayloadMutationError` naming the sender,
         tag and the sender's task span covering the send.  This is the
         dynamic counterpart of the ``Z201`` rule in :mod:`repro.lint`.
+
+        ``tracer`` is an optional :class:`repro.obs.Tracer`; when set, the
+        simulator emits virtual-time spans (compute/send/recv_wait/
+        retransmit_backoff/barrier_wait + the programs' task spans) and
+        matched send→recv messages into it.  When ``None`` (the default)
+        every instrumentation site is skipped — tracing has zero cost
+        when disabled.
         """
         self.nprocs = nprocs
         self.spec = spec
         self.sanitize = bool(sanitize)
+        self.tracer = tracer
+        if tracer is not None:
+            # pre-resolved hot-path counters (one inc per send attempt)
+            self._m_messages = tracer.metrics.counter("sim.messages")
+            self._m_bytes = tracer.metrics.counter("sim.bytes")
+            self._m_retransmits = tracer.metrics.counter("sim.retransmits")
         self._mailboxes = {}  # (dest, tag) -> heap of (arrival, seq, payload)
         self._seq = 0
         self.faults = faults
@@ -626,7 +688,8 @@ class Simulator:
             self.trace.records.append(record)
         heapq.heappush(
             self._mailboxes.setdefault((dest, tag), []),
-            (arrival, self._seq, payload, src, record, guard),
+            (arrival, self._seq, payload, src, record, guard,
+             send_clock, nbytes),
         )
         return record
 
@@ -651,18 +714,19 @@ class Simulator:
     def _try_fetch(self, dest, tag):
         box = self._mailboxes.get((dest, tag))
         if box:
-            arrival, _, payload, _, record, guard = heapq.heappop(box)
+            (arrival, _, payload, src, record, guard,
+             send_clock, nbytes) = heapq.heappop(box)
             if not box:
                 del self._mailboxes[(dest, tag)]
-            return arrival, payload, record, guard
+            return arrival, payload, record, guard, src, send_clock, nbytes
         return None
 
     def _pending_by_rank(self) -> dict:
         """Undelivered mailbox contents, grouped per destination rank."""
         pending = {}
         for (dest, tag), box in self._mailboxes.items():
-            for arrival, _, _, src, _, _ in sorted(box, key=lambda e: e[:2]):
-                pending.setdefault(dest, []).append((tag, arrival, src))
+            for entry in sorted(box, key=lambda e: e[:2]):
+                pending.setdefault(dest, []).append((tag, entry[0], entry[3]))
         return pending
 
     # -- sanitize mode -------------------------------------------------------
@@ -768,8 +832,10 @@ class Simulator:
         state = [READY] * self.nprocs
         waiting_tag = [None] * self.nprocs
         waiting_deadline = [None] * self.nprocs
+        blocked_at = [0.0] * self.nprocs  # clock when a rank last blocked
         returns = [None] * self.nprocs
         crash_time = dict(self._crash_time)
+        tr = self.tracer
 
         def crash(r, at=None):
             """Kill rank r at its next yield/task boundary."""
@@ -814,8 +880,10 @@ class Simulator:
                 state[r] = RECV
                 waiting_tag[r] = req.tag
                 waiting_deadline[r] = req.deadline
+                blocked_at[r] = self.envs[r].clock
             elif isinstance(req, _BarrierRequest):
                 state[r] = BARRIER
+                blocked_at[r] = self.envs[r].clock
             else:
                 raise TypeError(
                     f"rank {r} yielded {req!r}; yield env.recv(...) or env.barrier()"
@@ -850,13 +918,23 @@ class Simulator:
                         crash(r, at=ct)
                         progressed = True
                         continue
-                    arrival, payload, record, guard = self._try_fetch(
-                        r, waiting_tag[r])
+                    tag = waiting_tag[r]
+                    (arrival, payload, record, guard,
+                     src, send_clock, nbytes) = self._try_fetch(r, tag)
                     self._check_guard(guard, record)
                     env.clock = max(env.clock, arrival)
                     if record is not None:
                         record.consumed = True
                         record.recv_time = env.clock
+                    if tr is not None:
+                        if env.clock > blocked_at[r]:
+                            tr.span(
+                                r, f"recv {_obs.tag_label(tag)}",
+                                _obs.RECV_WAIT, blocked_at[r], env.clock,
+                                {"src": int(src)},
+                            )
+                        tr.message(src, r, tag, send_clock, env.clock,
+                                   nbytes, arrival)
                     state[r] = READY
                     waiting_tag[r] = None
                     waiting_deadline[r] = None
@@ -876,6 +954,9 @@ class Simulator:
                 t = max(self.envs[r].clock for r in at_barrier)
                 t += self.spec.barrier_seconds(self.nprocs)
                 for r in at_barrier:
+                    if tr is not None and t > blocked_at[r]:
+                        tr.span(r, "barrier", _obs.BARRIER_WAIT,
+                                blocked_at[r], t)
                     self.envs[r].clock = t
                     state[r] = READY
                 for r in at_barrier:
@@ -904,6 +985,12 @@ class Simulator:
                     else:
                         env = self.envs[r]
                         env.clock = max(env.clock, t)
+                        if tr is not None and env.clock > blocked_at[r]:
+                            tr.span(
+                                r, f"recv {_obs.tag_label(waiting_tag[r])}",
+                                _obs.RECV_WAIT, blocked_at[r], env.clock,
+                                {"timeout": True},
+                            )
                         state[r] = READY
                         waiting_tag[r] = None
                         waiting_deadline[r] = None
@@ -923,8 +1010,9 @@ class Simulator:
             # messages never received: still verify the sender kept its
             # hands off the posted buffers until the end of the run
             for box in self._mailboxes.values():
-                for _, _, _, _, record, guard in box:
-                    self._check_guard(guard, record, when="the run ended")
+                for entry in box:
+                    self._check_guard(entry[5], entry[4],
+                                      when="the run ended")
         spans = []
         for env in self.envs:
             spans.extend(env.spans)

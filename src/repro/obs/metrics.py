@@ -1,0 +1,174 @@
+"""Metrics registry: counters, gauges, and virtual-time histograms.
+
+One deterministic registry backs every layer of the stack: the simulator
+counts messages/bytes/retransmits/fault injections, the solver counts
+pivot perturbations, the analysis cache counts hits/misses/evictions, and
+the solve service records latency histograms in *virtual* seconds.  All
+values derive from simulated quantities, so the same run always yields the
+same registry contents — ``as_dict()`` output is sorted and reproducible
+byte for byte.
+
+The primitives follow the usual monitoring vocabulary:
+
+* :class:`Counter` — monotone accumulator (``inc``);
+* :class:`Gauge` — last-written value with a convenience ``track_max``;
+* :class:`Histogram` — bucketed distribution over virtual-time bounds.
+  Raw samples are retained (runs are bounded, workloads are small) so
+  exact nearest-rank percentiles stay available alongside bucket counts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+#: default geometric bucket bounds for virtual-time histograms: 100ns..100s
+DEFAULT_TIME_BOUNDS = tuple(10.0 ** e for e in range(-7, 3))
+
+
+@dataclass
+class Counter:
+    """Monotone counter (floats allowed for byte totals)."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        if n < 0:
+            raise ValueError("counters only go up")
+        self.value += n
+
+
+@dataclass
+class Gauge:
+    """Last-written value."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, v: float) -> None:
+        self.value = float(v)
+
+    def track_max(self, v: float) -> None:
+        """Set the gauge to ``max(current, v)`` (high-water marks)."""
+        self.value = max(self.value, float(v))
+
+
+class Histogram:
+    """Bucketed distribution with retained samples.
+
+    ``bounds`` are the ascending upper edges of the first ``len(bounds)``
+    buckets; one overflow bucket catches everything above the last edge.
+    """
+
+    def __init__(self, name: str, bounds=DEFAULT_TIME_BOUNDS):
+        bounds = tuple(float(b) for b in bounds)
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("histogram bounds must be strictly ascending")
+        self.name = name
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.samples = []
+        self.total = 0.0
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self.samples) if self.samples else 0.0
+
+    def observe(self, v: float) -> None:
+        v = float(v)
+        self.samples.append(v)
+        self.total += v
+        for i, edge in enumerate(self.bounds):
+            if v <= edge:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def percentile(self, q: float) -> float:
+        """Exact nearest-rank percentile over the retained samples."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        idx = max(0, int(math.ceil(q * len(ordered))) - 1)
+        return ordered[min(idx, len(ordered) - 1)]
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "buckets": [
+                {"le": edge, "count": c}
+                for edge, c in zip(self.bounds, self.counts)
+            ] + [{"le": None, "count": self.counts[-1]}],
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+        }
+
+
+@dataclass
+class MetricsRegistry:
+    """Get-or-create registry of named counters/gauges/histograms."""
+
+    _counters: dict = field(default_factory=dict)
+    _gauges: dict = field(default_factory=dict)
+    _histograms: dict = field(default_factory=dict)
+
+    def _check_free(self, name: str, own: dict) -> None:
+        for kind, table in (("counter", self._counters),
+                            ("gauge", self._gauges),
+                            ("histogram", self._histograms)):
+            if table is not own and name in table:
+                raise TypeError(
+                    f"metric {name!r} already registered as a {kind}")
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            self._check_free(name, self._counters)
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            self._check_free(name, self._gauges)
+            g = self._gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name: str, bounds=DEFAULT_TIME_BOUNDS) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            self._check_free(name, self._histograms)
+            h = self._histograms[name] = Histogram(name, bounds)
+        return h
+
+    def value(self, name: str) -> float:
+        """Current value of a counter or gauge (0.0 when never touched)."""
+        if name in self._counters:
+            return self._counters[name].value
+        if name in self._gauges:
+            return self._gauges[name].value
+        return 0.0
+
+    def as_dict(self) -> dict:
+        """Deterministic (name-sorted) snapshot of the whole registry."""
+        return {
+            "counters": {
+                name: self._counters[name].value
+                for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: self._gauges[name].value
+                for name in sorted(self._gauges)
+            },
+            "histograms": {
+                name: self._histograms[name].as_dict()
+                for name in sorted(self._histograms)
+            },
+        }

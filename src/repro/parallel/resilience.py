@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 
 from ..machine import FaultPlan, RankCrashedError
 from ..numfact import BlockLUMatrix
+from ..obs import CHECKPOINT
 from .mapping import Grid2D
 from .oned import run_1d
 from .twod import run_2d
@@ -105,16 +106,36 @@ def _run_resilient(runner, A, part, bstruct, nprocs, spec, *,
                    max_restarts, runner_kwargs):
     N = part.N
     plan = faults if faults is not None else FaultPlan()
+    # each round's Simulator restarts virtual time at 0; an offset proxy
+    # splices the rounds onto the caller's one continuous trace timeline
+    tracer = (sim_opts or {}).get("tracer")
+
+    def note_round(window, t0, ok, crashed, seconds, np_round):
+        if tracer is None:
+            return
+        tracer.span(
+            "ckpt/rounds", f"round {window[0]}:{window[1]}", CHECKPOINT,
+            t0, t0 + seconds,
+            {"ok": bool(ok), "nprocs": int(np_round),
+             "crashed": [int(c) for c in crashed]},
+        )
+        tracer.metrics.counter("ckpt.rounds").inc()
+        if not ok:
+            tracer.metrics.counter("ckpt.restarts").inc()
+
     checkpoint = None  # None = start from A itself
     out = ResilientResult(factor=None, nprocs_final=nprocs)
     restarts = 0
     k = 0
     while k < N:
         window = (k, min(k + int(ckpt_interval), N))
+        round_start = out.total_time
         base_opts = dict(sim_opts or {})
         base_opts["faults"] = plan
         if reliable is not None:
             base_opts["reliable"] = reliable
+        if tracer is not None:
+            base_opts["tracer"] = tracer.offset(round_start)
         start = _copy_state(checkpoint) if checkpoint is not None else None
         try:
             res = runner(
@@ -132,6 +153,8 @@ def _run_resilient(runner, A, part, bstruct, nprocs, spec, *,
                 window, nprocs, ok=False, crashed=tuple(e.ranks),
                 seconds=e.detected_at,
             ))
+            note_round(window, round_start, False, e.ranks, e.detected_at,
+                       nprocs)
             out.total_time += e.detected_at
             # shrink the grid: drop the dead ranks (highest first so the
             # renumbering in after_crash stays consistent; the elapsed
@@ -161,6 +184,8 @@ def _run_resilient(runner, A, part, bstruct, nprocs, spec, *,
                 window, nprocs, ok=False, crashed=tuple(res.sim.crashed),
                 seconds=res.sim.total_time,
             ))
+            note_round(window, round_start, False, res.sim.crashed,
+                       res.sim.total_time, nprocs)
             out.total_time += res.sim.total_time
             elapsed = res.sim.total_time
             for dead in sorted(res.sim.crashed, reverse=True):
@@ -178,6 +203,7 @@ def _run_resilient(runner, A, part, bstruct, nprocs, spec, *,
         out.rounds.append(RoundInfo(
             window, nprocs, ok=True, seconds=res.sim.total_time,
         ))
+        note_round(window, round_start, True, (), res.sim.total_time, nprocs)
         out.results.append(res.sim)
         out.total_time += res.sim.total_time
         plan = plan.shifted(res.sim.total_time)

@@ -3,7 +3,12 @@ compute-ahead (CA) baseline, plus Gantt-chart tooling (Section 5.1)."""
 
 from .graph_schedule import graph_schedule, Schedule
 from .compute_ahead import compute_ahead_schedule
-from .gantt import simulate_schedule, GanttChart, demo_unit_weight_charts
+from .gantt import (
+    simulate_schedule,
+    GanttChart,
+    demo_unit_weight_charts,
+    gantt_from_trace,
+)
 
 __all__ = [
     "graph_schedule",
@@ -11,5 +16,6 @@ __all__ = [
     "compute_ahead_schedule",
     "simulate_schedule",
     "GanttChart",
+    "gantt_from_trace",
     "demo_unit_weight_charts",
 ]

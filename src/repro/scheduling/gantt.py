@@ -5,6 +5,10 @@ a simple self-timed model — each processor executes its task list in order,
 starting a task as soon as its predecessors' data has arrived — and returns
 per-task intervals, from which ASCII Gantt charts like the paper's Fig. 11
 are rendered.
+
+:func:`gantt_from_trace` builds the same :class:`GanttChart` from an
+observability trace (:class:`repro.obs.Tracer`), so model-predicted and
+simulator-measured timelines render through one code path.
 """
 
 from __future__ import annotations
@@ -13,6 +17,14 @@ from dataclasses import dataclass
 
 from ..taskgraph import TaskGraph, FACTOR
 from .graph_schedule import Schedule
+
+
+def _task_label(t) -> str:
+    """Display label of an interval's task: scheduler task tuples become
+    the Fig. 11 ``F<k>`` / ``U<k>,<j>`` names; strings pass through."""
+    if isinstance(t, str):
+        return t
+    return f"F{t[1]}" if t[0] == FACTOR else f"U{t[1]},{t[2]}"
 
 
 @dataclass
@@ -34,10 +46,6 @@ class GanttChart:
 
     def render(self, width: int = 72) -> str:
         """ASCII Gantt chart (one row per processor)."""
-
-        def label(t):
-            return f"F{t[1]}" if t[0] == FACTOR else f"U{t[1]},{t[2]}"
-
         scale = width / self.makespan if self.makespan > 0 else 1.0
         lines = []
         for p, row in enumerate(self.rows()):
@@ -45,7 +53,7 @@ class GanttChart:
             for t, s, e in row:
                 a = int(s * scale)
                 b = max(int(e * scale), a + 1)
-                txt = label(t)[: b - a]
+                txt = _task_label(t)[: b - a]
                 for i, ch in enumerate(txt):
                     if a + i < len(cells):
                         cells[a + i] = ch
@@ -54,6 +62,27 @@ class GanttChart:
             lines.append(f"P{p}: " + "".join(cells).rstrip())
         lines.append(f"makespan = {self.makespan:.3g}")
         return "\n".join(lines)
+
+
+def gantt_from_trace(spans, total_time: float = None) -> GanttChart:
+    """Build a :class:`GanttChart` from observability trace spans.
+
+    Takes a :class:`repro.obs.Tracer` or its span list and keeps the
+    rank-track ``task``-category spans — the 1D/2D drivers' ``F<k>`` /
+    ``U<k>,<j>`` / ``U2D<K>`` task intervals — so a *measured* simulator
+    run renders through the same :meth:`GanttChart.render` as a
+    model-predicted schedule."""
+    from ..obs import TASK
+
+    spans = getattr(spans, "spans", spans)
+    tasks = [s for s in spans if isinstance(s.track, int) and s.cat == TASK]
+    nprocs = max((s.track for s in tasks), default=-1) + 1
+    intervals = [(s.track, s.name, s.start, s.end) for s in tasks]
+    makespan = (
+        total_time if total_time is not None
+        else max((s.end for s in tasks), default=0.0)
+    )
+    return GanttChart(nprocs, intervals, makespan)
 
 
 def simulate_schedule(

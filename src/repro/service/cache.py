@@ -115,12 +115,17 @@ class AnalysisArtifacts:
         return OrderedMatrix(Ap, self.row_perm, self.col_perm)
 
 
-def analyze(A, block_size: int = 25, amalgamation: int = 4):
+def analyze(A, block_size: int = 25, amalgamation: int = 4, tracer=None):
     """Run the full analyze phase; return ``(artifacts, ordered_matrix)``.
 
     This is the slow path the cache amortises: transversal + min-degree
     ordering, George–Ng symbolic factorization, supernode partition with
     amalgamation, and the block structure.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) records the four analyze
+    phases as spans on the ``pipeline/main`` track with deterministic
+    *modeled* virtual durations, appended after whatever that track
+    already holds.
     """
     from ..ordering import prepare_matrix
     from ..supernodes import build_block_structure, build_partition
@@ -138,6 +143,14 @@ def analyze(A, block_size: int = 25, amalgamation: int = 4):
         part=part,
         bstruct=bstruct,
     )
+    if tracer is not None:
+        from ..obs import analyze_phase_spans
+
+        analyze_phase_spans(
+            tracer, nnz=A.nnz, n=A.nrows,
+            factor_entries=sym.factor_entries,
+            t0=tracer.track_end("pipeline/main"),
+        )
     return art, om
 
 
@@ -181,8 +194,14 @@ class AnalysisCache:
 
     max_entries: int = 32
     max_bytes: int = None
+    #: optional repro.obs.MetricsRegistry mirroring the stats as counters
+    metrics: object = None
     _entries: OrderedDict = field(default_factory=OrderedDict, repr=False)
     _stats: CacheStats = field(default_factory=CacheStats, repr=False)
+
+    def _count(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -200,9 +219,11 @@ class AnalysisCache:
         art = self._entries.get(key)
         if art is None:
             self._stats.misses += 1
+            self._count("cache.misses")
             return None
         self._entries.move_to_end(key)
         self._stats.hits += 1
+        self._count("cache.hits")
         return art
 
     def peek(self, key):
@@ -221,12 +242,14 @@ class AnalysisCache:
         ):
             self._entries.popitem(last=False)
             self._stats.evictions += 1
+            self._count("cache.evictions")
 
     def invalidate(self, key) -> bool:
         """Drop ``key`` if present; returns whether an entry was removed."""
         if key in self._entries:
             del self._entries[key]
             self._stats.invalidations += 1
+            self._count("cache.invalidations")
             return True
         return False
 

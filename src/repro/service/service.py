@@ -38,6 +38,7 @@ from typing import Optional
 import numpy as np
 
 from ..machine import DeliveryError, MachineSpec
+from ..obs import BATCH, JOB, QUEUE, MetricsRegistry, as_tracer
 from .cache import AnalysisCache, values_key
 
 #: modeled cost of the analyze phase per structural entry (transversal +
@@ -116,14 +117,6 @@ class MetricsSnapshot:
         return dict(self.__dict__)
 
 
-def _percentile(sorted_vals, q: float) -> float:
-    """Deterministic nearest-rank percentile of an ascending list."""
-    if not sorted_vals:
-        return 0.0
-    idx = max(0, int(np.ceil(q * len(sorted_vals))) - 1)
-    return float(sorted_vals[idx])
-
-
 class SolveService:
     """Deterministic solve service: submit / poll / result / drain.
 
@@ -148,6 +141,16 @@ class SolveService:
         ``method``, ``nprocs``, ``machine``, ``faults``, ``reliable``).
     cache:
         Shared :class:`AnalysisCache` (one is created if not given).
+    tracer:
+        Observability: ``True`` or a :class:`repro.obs.Tracer` records the
+        job lifecycle as spans — ``queued`` on ``svc/job<N>`` from arrival
+        to dispatch, ``solve`` from dispatch to finish (annotated with
+        cache hit/miss, batch size and status), and one ``batch`` span per
+        coalesced block solve on the worker lane's ``svc/w<N>`` track.
+    metrics:
+        A :class:`repro.obs.MetricsRegistry` backing all service counters
+        (one is created — shared with ``tracer`` if given).  All
+        :class:`MetricsSnapshot` fields derive from it.
     """
 
     def __init__(
@@ -159,6 +162,8 @@ class SolveService:
         inter_arrival: float = 0.0,
         solver_opts: dict = None,
         cache: AnalysisCache = None,
+        tracer=None,
+        metrics: MetricsRegistry = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -171,20 +176,24 @@ class SolveService:
         self.inter_arrival = inter_arrival
         self.solver_opts = dict(solver_opts or {})
         self.cache = cache if cache is not None else AnalysisCache()
+        self.tracer = as_tracer(tracer)
+        if metrics is not None:
+            self.metrics_registry = metrics
+        elif self.tracer is not None:
+            self.metrics_registry = self.tracer.metrics
+        else:
+            self.metrics_registry = MetricsRegistry()
+        if self.cache.metrics is None:
+            self.cache.metrics = self.metrics_registry
         self._queue: deque = deque()
         self._jobs: dict = {}
         self._worker_clock = [0.0] * workers
         self._next_id = 0
-        self._submitted = 0
-        self._rejected = 0
-        self._failed = 0
-        self._batches = 0
-        self._batched_jobs = 0
-        self._retries = 0
-        self._max_depth = 0
-        self._latencies: list = []
         self._first_arrival: Optional[float] = None
         self._last_finish = 0.0
+
+    def _counter(self, name: str):
+        return self.metrics_registry.counter(f"service.{name}")
 
     # -- client API ----------------------------------------------------
 
@@ -196,7 +205,7 @@ class SolveService:
         :class:`ServiceOverloadError` when the bounded queue is full.
         """
         if len(self._queue) >= self.max_queue:
-            self._rejected += 1
+            self._counter("jobs.rejected").inc()
             raise ServiceOverloadError(
                 f"queue full: {len(self._queue)} waiting jobs "
                 f"(max_queue={self.max_queue}); drain before submitting more",
@@ -212,21 +221,25 @@ class SolveService:
         opts = dict(self.solver_opts)
         opts.update(solver_opts or {})
         opts_key = tuple(sorted((k, repr(v)) for k, v in opts.items()))
+        submitted = self._counter("jobs.submitted")
         job = SolveJob(
             job_id=self._next_id,
             A=A,
             b=b,
             opts_key=opts_key,
-            arrival=self._submitted * self.inter_arrival,
+            arrival=submitted.value * self.inter_arrival,
             _opts=opts,
         )
         self._next_id += 1
-        self._submitted += 1
+        submitted.inc()
         if self._first_arrival is None:
             self._first_arrival = job.arrival
         self._jobs[job.job_id] = job
         self._queue.append(job)
-        self._max_depth = max(self._max_depth, len(self._queue))
+        depth = self.metrics_registry.gauge("service.queue.depth")
+        depth.set(len(self._queue))
+        self.metrics_registry.gauge("service.queue.max_depth").track_max(
+            len(self._queue))
         return job.job_id
 
     def poll(self, job_id: int) -> str:
@@ -331,7 +344,7 @@ class SolveService:
                 error = e
                 if attempts > self.max_retries:
                     break
-                self._retries += 1
+                self._counter("retries").inc()
 
         if solver is not None:
             X = solver.solve(B)
@@ -341,6 +354,7 @@ class SolveService:
             # penalty proportional to the attempts made
             finish = start + attempts * ANALYZE_SECONDS_PER_ENTRY * head.A.nnz
 
+        latency_hist = self.metrics_registry.histogram("service.latency")
         col = 0
         for job in batch:
             job.start = start
@@ -355,25 +369,51 @@ class SolveService:
                     else X[:, col : col + job.ncols]
                 )
                 job.status = DONE
-                self._latencies.append(job.latency)
+                latency_hist.observe(job.latency)
             else:
                 job.error = error
                 job.status = FAILED
-                self._failed += 1
+                self._counter("jobs.failed").inc()
             col += job.ncols
+            if self.tracer is not None:
+                track = f"svc/job{job.job_id}"
+                if start > job.arrival:
+                    self.tracer.span(track, "queued", QUEUE,
+                                     job.arrival, start)
+                self.tracer.span(
+                    track, "solve", JOB, start, finish,
+                    {"status": job.status, "cache_hit": job.cache_hit,
+                     "batch": len(batch), "attempts": attempts,
+                     "worker": worker},
+                )
         self._worker_clock[worker] = finish
         self._last_finish = max(self._last_finish, finish)
-        self._batches += 1
+        self._counter("batches").inc()
         if len(batch) > 1:
-            self._batched_jobs += len(batch)
+            self._counter("batched_jobs").inc(len(batch))
+        if self.tracer is not None:
+            self.tracer.span(
+                f"svc/w{worker}", f"batch j{head.job_id}", BATCH,
+                start, finish,
+                {"jobs": len(batch), "nrhs": int(nrhs),
+                 "status": batch[0].status},
+            )
+        self.metrics_registry.gauge("service.queue.depth").set(
+            len(self._queue))
         return batch
 
     # -- metrics -------------------------------------------------------
 
     def metrics(self) -> MetricsSnapshot:
-        """Deterministic statistics snapshot (same job set → same numbers)."""
-        lat = sorted(self._latencies)
-        completed = len(self._latencies)
+        """Deterministic statistics snapshot (same job set → same numbers).
+
+        Every field is a view over the shared
+        :class:`repro.obs.MetricsRegistry` (``metrics_registry``), which
+        additionally holds the raw counters/histograms — including
+        whatever the cache and any traced simulations recorded."""
+        reg = self.metrics_registry
+        hist = reg.histogram("service.latency")
+        completed = hist.count
         makespan = (
             self._last_finish - self._first_arrival
             if completed and self._first_arrival is not None
@@ -381,20 +421,20 @@ class SolveService:
         )
         cs = self.cache.stats
         return MetricsSnapshot(
-            jobs_submitted=self._submitted,
+            jobs_submitted=int(reg.value("service.jobs.submitted")),
             jobs_completed=completed,
-            jobs_failed=self._failed,
-            jobs_rejected=self._rejected,
-            batches=self._batches,
-            batched_jobs=self._batched_jobs,
-            retries=self._retries,
+            jobs_failed=int(reg.value("service.jobs.failed")),
+            jobs_rejected=int(reg.value("service.jobs.rejected")),
+            batches=int(reg.value("service.batches")),
+            batched_jobs=int(reg.value("service.batched_jobs")),
+            retries=int(reg.value("service.retries")),
             cache_hits=cs.hits,
             cache_misses=cs.misses,
             cache_hit_rate=cs.hit_rate,
             queue_depth=len(self._queue),
-            max_queue_depth=self._max_depth,
-            latency_p50=_percentile(lat, 0.50),
-            latency_p95=_percentile(lat, 0.95),
+            max_queue_depth=int(reg.value("service.queue.max_depth")),
+            latency_p50=hist.percentile(0.50),
+            latency_p95=hist.percentile(0.95),
             makespan=makespan,
             throughput_jobs_per_s=(completed / makespan if makespan > 0 else 0.0),
         )

@@ -21,6 +21,7 @@ TRACE_CHECKED_MODULES = {
     "tests.test_trisolve",
     "tests.test_service",
     "tests.test_resilience",
+    "tests.test_obs",
     "test_parallel_1d",
     "test_parallel_2d",
     "test_trisolve",

@@ -154,17 +154,25 @@ DROP_PLAN = FaultPlan.drops(0.08, seed=42)  # >= 5% of messages
 
 class TestReliableDelivery:
     def test_1d_ca_drops_with_retry_bit_identical(self, pipeline):
+        from repro.obs import Tracer
+
         p = pipeline
         clean = run_1d(p["om"].A, p["part"], p["bstruct"], 4, GENERIC,
                        method="ca")
+        tracer = Tracer()
         faulty = run_1d(p["om"].A, p["part"], p["bstruct"], 4, GENERIC,
                         method="ca",
-                        sim_opts={"faults": DROP_PLAN, "reliable": True})
+                        sim_opts={"faults": DROP_PLAN, "reliable": True,
+                                  "tracer": tracer})
         assert faulty.sim.fault_stats.dropped >= 1
         assert faulty.sim.fault_stats.retransmits >= 1
         assert _bitwise_equal(clean.factor, faulty.factor)
         # retries cost virtual time: the faulty run cannot be faster
         assert faulty.sim.total_time >= clean.sim.total_time
+        # the metrics registry mirrors the transport's fault accounting
+        m = tracer.metrics
+        assert m.value("sim.retransmits") == faulty.sim.fault_stats.retransmits
+        assert m.value("sim.faults.dropped") == faulty.sim.fault_stats.dropped
 
     def test_2d_async_drops_with_retry_bit_identical(self, pipeline):
         p = pipeline
