@@ -106,6 +106,15 @@ class SStarSolver:
         factorization whose growth factor exceeds this (or that had to
         perturb pivots) drops the pattern's cache entry, forcing the next
         factorization to re-derive the analysis.
+    abft:
+        Algorithm-based fault tolerance against silent data corruption:
+        blocks and wire payloads carry column/row checksums, verified at
+        message consumption and before the triangular solves.  Detected
+        corruption raises :class:`repro.numfact.SilentCorruptionError`
+        (with block coordinates) or recovers automatically — by localized
+        block-column recompute sequentially, or by checkpoint-window
+        replay on the resilient parallel paths.  Requires the ``"blocks"``
+        backend.
     trace:
         Observability: ``True`` creates a fresh :class:`repro.obs.Tracer`,
         or pass an existing tracer to share one timeline across solvers.
@@ -135,6 +144,7 @@ class SStarSolver:
         analysis_cache=None,
         growth_limit: float = 1e8,
         trace=None,
+        abft: bool = False,
     ):
         self.block_size = block_size
         self.amalgamation = amalgamation
@@ -157,6 +167,9 @@ class SStarSolver:
         )
         self.analysis_cache = analysis_cache
         self.growth_limit = growth_limit
+        if abft and backend != "blocks":
+            raise ValueError("abft=True requires the 'blocks' backend")
+        self.abft = abft
         self.tracer = as_tracer(trace)
         self._lu: LUFactorization = None
         self._om = None
@@ -270,6 +283,7 @@ class SStarSolver:
                     om.A, sym=sym, part=part, bstruct=bstruct,
                     pivot_threshold=self.pivot_threshold,
                     monitor=monitor,
+                    abft=self.abft,
                 )
             else:
                 raise ValueError(f"unknown backend {self.backend!r}")
@@ -285,6 +299,7 @@ class SStarSolver:
                     reliable=self.reliable,
                     pivot_threshold=self.pivot_threshold,
                     monitor=monitor,
+                    abft=self.abft,
                 )
                 if self.tracer is not None:
                     kwargs["sim_opts"] = {"tracer": self.tracer}
@@ -310,6 +325,7 @@ class SStarSolver:
                     pivot_threshold=self.pivot_threshold,
                     sim_opts=sim_opts,
                     monitor=monitor,
+                    abft=self.abft,
                 )
                 self.sim_result = res.sim
                 lu = LUFactorization(res.factor, sym, part, bstruct, res.sim.total_counter())
@@ -322,6 +338,7 @@ class SStarSolver:
                     pivot_threshold=self.pivot_threshold,
                     sim_opts=sim_opts,
                     monitor=monitor,
+                    abft=self.abft,
                 )
                 self.sim_result = res.sim
                 lu = LUFactorization(res.factor, sym, part, bstruct, res.sim.total_counter())

@@ -1,0 +1,124 @@
+"""Seeded fault-plan families for the chaos campaign.
+
+A **family** is a named grid of seeded :class:`repro.machine.FaultPlan`
+cases over one fault action — ``drop`` / ``dup`` / ``delay`` / ``corrupt``
+/ ``crash`` — swept across source, destination, tag prefix and (for
+delays and crashes) virtual time.  ``make_plan(family, index, ...)``
+deterministically materialises case ``index`` of the family's grid, so a
+campaign is fully replayable from ``(families, scenario list, seed,
+budget)`` alone.
+
+Each family also declares which *capabilities* a scenario must provide
+for its faults to be recoverable (``requirements``): drops and
+duplicates need the retry transport, corruption needs either transport
+checksums or ABFT-plus-checkpointing, crashes need checkpoint/restart.
+The campaign only pairs a family with scenarios that satisfy at least
+one requirement set — every run of the sweep is then *expected* green,
+and any oracle violation is a real bug, not a configured-to-fail case.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from ..machine.faults import (
+    CORRUPT,
+    DELAY,
+    DROP,
+    DUPLICATE,
+    FaultPlan,
+    MessageFaultRule,
+)
+
+#: campaign sweep order (stable: plan seeds hash the family's position)
+FAMILIES = ("drop", "dup", "delay", "corrupt", "crash")
+
+#: capability tokens a scenario can provide (see Scenario.capabilities)
+RELIABLE = "reliable"    # ack/retry transport
+CHECKSUM = "checksum"    # transport-level frame checksums
+ABFT = "abft"            # checksum-carrying kernels + payload verification
+RESILIENT = "resilient"  # checkpoint/restart rounds
+
+#: family -> tuple of alternative capability sets, any one of which makes
+#: the family's faults recoverable for the scenario
+REQUIREMENTS = {
+    "drop": (frozenset({RELIABLE}),),
+    "dup": (frozenset({RELIABLE}),),
+    "delay": (frozenset(),),  # reordering alone never loses a message
+    "corrupt": (
+        frozenset({RELIABLE, CHECKSUM}),  # NIC discards, transport retries
+        frozenset({ABFT, RESILIENT}),     # ABFT detects, round replays
+    ),
+    "crash": (frozenset({RESILIENT}),),
+}
+
+# grid axes.  Tag prefixes cover the block-payload message classes of the
+# 1D codes ("col") and the 2D codes ("lcol"/"urow"/"swap"); None matches
+# every tag.  The corrupt family stays on the ABFT-protected block
+# payloads — the 2D pivot-reduction scalars (pmax/pbest) are documented
+# as unprotected, so corrupting them is a *failing* case for the
+# shrinker, not a campaign case.
+_RATES = (0.05, 0.12, 0.25)
+_TAGS = (None, ("col",), ("lcol",), ("urow",))
+_CORRUPT_TAGS = (("col",), ("lcol",), ("urow",), ("swap",))
+_DELAYS = (2e-6, 2e-5, 1e-4)
+_CRASH_FRACTIONS = (0.0, 0.25, 0.6)
+
+
+def compatible(family: str, capabilities: frozenset) -> bool:
+    """True when ``capabilities`` satisfies one of the family's
+    requirement alternatives (its faults are recoverable there)."""
+    return any(req <= capabilities for req in REQUIREMENTS[family])
+
+
+def family_cells(family: str, nprocs: int, tscale: float = 1e-3) -> list:
+    """The family's full sweep grid as a list of cell descriptors."""
+    srcs = (None, 0)
+    dests = (None, nprocs - 1)
+    if family == "drop":
+        return [("drop", r, t, s, d)
+                for r, t, s, d in product(_RATES, _TAGS, srcs, dests)]
+    if family == "dup":
+        return [("dup", r, t, s, d)
+                for r, t, s, d in product(_RATES, _TAGS, srcs, dests)]
+    if family == "delay":
+        return [("delay", r, t, dt)
+                for r, t, dt in product(_RATES, _TAGS, _DELAYS)]
+    if family == "corrupt":
+        return [("corrupt", r, t, s)
+                for r, t, s in product(_RATES, _CORRUPT_TAGS, srcs)]
+    if family == "crash":
+        return [("crash", rank, frac * tscale)
+                for rank, frac in product(range(1, nprocs), _CRASH_FRACTIONS)]
+    raise ValueError(f"unknown chaos family {family!r}")
+
+
+def make_plan(family: str, index: int, seed: int, nprocs: int,
+              tscale: float = 1e-3) -> FaultPlan:
+    """Materialise case ``index`` of the family's grid as a FaultPlan.
+
+    ``index`` wraps around the grid; the plan's hash seed folds in the
+    campaign seed, the family and the index so repeated visits to the
+    same cell still flip fresh (but replayable) coins.  ``tscale`` is a
+    nominal fault-free makespan used to place crash times.
+    """
+    cells = family_cells(family, nprocs, tscale)
+    cell = cells[index % len(cells)]
+    plan_seed = (seed * 100003 + FAMILIES.index(family) * 7919 + index) % (2**31)
+    if cell[0] == "crash":
+        _, rank, at_time = cell
+        return FaultPlan(seed=plan_seed).with_crash(rank, at_time)
+    if cell[0] == "delay":
+        _, rate, tag, delay_s = cell
+        rule = MessageFaultRule(DELAY, rate=rate, tag_prefix=tag,
+                                delay_s=delay_s)
+        return FaultPlan(rules=[rule], seed=plan_seed)
+    action = {"drop": DROP, "dup": DUPLICATE, "corrupt": CORRUPT}[cell[0]]
+    if cell[0] == "corrupt":
+        _, rate, tag, src = cell
+        rule = MessageFaultRule(action, rate=rate, tag_prefix=tag, src=src)
+    else:
+        _, rate, tag, src, dest = cell
+        rule = MessageFaultRule(action, rate=rate, tag_prefix=tag,
+                                src=src, dest=dest)
+    return FaultPlan(rules=[rule], seed=plan_seed)

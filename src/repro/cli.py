@@ -17,6 +17,9 @@ Commands
 ``lint``       dataflow static analysis: determinism (D1xx) and zero-copy
                aliasing (Z2xx) rules over the codebase
 ``serve-demo`` run a synthetic workload through the SolveService front end
+``chaos``      seeded fault-injection campaign over the 1D/2D/resilient
+               solvers and the service, with oracle checks and optional
+               failing-schedule shrinking to a JSON repro artifact
 ``bench-service`` cold factor vs cached refactor vs batched-RHS timings
 ``suite``      list the built-in suite matrices
 """
@@ -661,6 +664,96 @@ def cmd_bench_service(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    import json as _json
+
+    from .chaos import (
+        DEFAULT_SCENARIOS,
+        FAMILIES,
+        Campaign,
+        Scenario,
+        build_context,
+        replay_artifact,
+        run_case,
+        shrink_failure,
+    )
+    from .machine.faults import CORRUPT, FaultPlan, MessageFaultRule
+
+    ctx = build_context(n=args.n)
+    if args.campaign == "all":
+        families = FAMILIES
+    else:
+        families = tuple(f.strip() for f in args.campaign.split(","))
+        unknown = set(families) - set(FAMILIES)
+        if unknown:
+            print(f"unknown families: {sorted(unknown)} "
+                  f"(known: {list(FAMILIES)})", file=sys.stderr)
+            return 2
+    scenarios = DEFAULT_SCENARIOS
+    if args.abft:
+        scenarios = tuple(s for s in DEFAULT_SCENARIOS if s.abft)
+    campaign = Campaign(ctx, scenarios=scenarios, families=families,
+                        budget=args.budget, seed=args.seed)
+    report = campaign.run()
+
+    shrink_info = None
+    if args.shrink:
+        # shrink the first shrinkable campaign failure; with an all-green
+        # campaign, demonstrate on an intentionally-unprotected corruption
+        target = next(
+            (o for o in campaign.outcomes
+             if not o.ok and o.scenario.mode in ("1d", "2d")), None)
+        if target is not None:
+            sr = shrink_failure(ctx, target.scenario, target.plan,
+                                outcome=target)
+        else:
+            scn = Scenario("1d-ca-abft-bare", "1d", method="ca", nprocs=4,
+                           reliable=False, checksum=False, abft=True)
+            sr = None
+            for s in range(args.seed, args.seed + 10):
+                plan = FaultPlan(
+                    rules=[MessageFaultRule(CORRUPT, rate=0.4,
+                                            tag_prefix=("col",))],
+                    seed=s)
+                out = run_case(ctx, scn, plan)
+                if out.failure_key() is not None:
+                    sr = shrink_failure(ctx, scn, plan, outcome=out)
+                    break
+            if sr is None:
+                print("could not provoke a demo failure to shrink",
+                      file=sys.stderr)
+                return 2
+        sr.save(args.shrink)
+        _, matches = replay_artifact(sr.artifact, ctx=ctx)
+        shrink_info = {
+            "artifact": args.shrink,
+            "original_events": sr.original_events,
+            "shrunk_events": sr.shrunk_events,
+            "tests": sr.tests,
+            "failure_key": sr.failure_key,
+            "replay_matches": matches,
+        }
+
+    if args.json:
+        out = report.as_dict()
+        if shrink_info is not None:
+            out["shrink"] = shrink_info
+        print(_json.dumps(out, indent=2, sort_keys=True))
+    else:
+        print(report.summary())
+        if shrink_info is not None:
+            print(f"shrink: {shrink_info['original_events']} -> "
+                  f"{shrink_info['shrunk_events']} events in "
+                  f"{shrink_info['tests']} tests; artifact "
+                  f"{shrink_info['artifact']} (replay "
+                  f"{'matches' if shrink_info['replay_matches'] else 'DIVERGES'})")
+    if shrink_info is not None and not shrink_info["replay_matches"]:
+        return 1
+    if args.fail_on == "failure" and not report.ok:
+        return 1
+    return 0
+
+
 def cmd_suite(args) -> int:
     from .matrices import SUITE
 
@@ -865,6 +958,31 @@ def build_parser() -> argparse.ArgumentParser:
     bs.add_argument("--nrhs", type=int, default=8)
     bs.add_argument("--seed", type=int, default=0)
     bs.set_defaults(func=cmd_bench_service)
+
+    ch = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection campaign with oracle checks and "
+             "failing-schedule shrinking",
+    )
+    ch.add_argument("--campaign", default="all",
+                    help="comma-separated fault families "
+                         "(drop,dup,delay,corrupt,crash) or 'all'")
+    ch.add_argument("--budget", type=int, default=60,
+                    help="number of campaign runs")
+    ch.add_argument("--seed", type=int, default=0)
+    ch.add_argument("--n", type=int, default=60,
+                    help="order of the random campaign matrix")
+    ch.add_argument("--abft", action="store_true",
+                    help="restrict to ABFT-enabled scenarios")
+    ch.add_argument("--shrink", metavar="PATH",
+                    help="shrink a failing run (or a built-in unprotected-"
+                         "corruption demo) to a minimal schedule; write the "
+                         "JSON repro artifact to PATH and replay-verify it")
+    ch.add_argument("--json", action="store_true",
+                    help="print the report as JSON")
+    ch.add_argument("--fail-on", default="none", choices=["none", "failure"],
+                    help="exit nonzero when any campaign run fails an oracle")
+    ch.set_defaults(func=cmd_chaos)
 
     ls = sub.add_parser("suite", help="list built-in suite matrices")
     ls.set_defaults(func=cmd_suite)

@@ -13,6 +13,13 @@ the parallel codes are tuples like ``("col", k)`` or ``("lcol", K)``), each
 with an independent per-attempt probability.  Crash faults kill one rank at
 a virtual time; the simulator applies them at yield (task) boundaries.
 
+Besides probabilistic rules a plan may carry explicit **events**
+(:class:`FaultEvent`): one action pinned to one exact transmission
+``(src, dest, tag, attempt)``.  Events are what the chaos shrinker
+(:mod:`repro.chaos.shrink`) manipulates — a failing probabilistic run is
+first *materialised* into the event list of faults that actually fired
+(``FaultStats.injected``), and delta debugging then minimises that list.
+
 Plans serialize to/from JSON so the CLI can replay a fault scenario from a
 file (``repro solve --faults plan.json``).
 """
@@ -73,6 +80,70 @@ class MessageFaultRule:
         return True
 
 
+def _tag_from_json(tag):
+    """Tags round-trip through JSON as lists; restore the tuple form."""
+    if isinstance(tag, list):
+        return tuple(tag)
+    return tag
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One action pinned to one exact transmission attempt.
+
+    Unlike a :class:`MessageFaultRule` (probabilistic, prefix-matched) an
+    event fires deterministically on the single message identified by
+    ``(src, dest, tag, attempt)`` and on nothing else — the minimal unit
+    the chaos shrinker adds and removes.
+    """
+
+    action: str
+    src: int
+    dest: int
+    tag: tuple
+    attempt: int = 0
+    delay_s: float = 0.0  # extra arrival delay for DELAY events
+
+    def __post_init__(self):
+        if self.action not in _ACTIONS:
+            raise ValueError(f"unknown fault action {self.action!r}")
+        # lists sneak in via JSON; normalise so matching stays exact
+        object.__setattr__(self, "tag", _tag_from_json(self.tag))
+
+    def matches(self, src: int, dest: int, tag, attempt: int) -> bool:
+        return (
+            src == self.src
+            and dest == self.dest
+            and attempt == self.attempt
+            and tag == self.tag
+        )
+
+    def key(self) -> tuple:
+        """Canonical ordering key (shrinker output is sorted by this)."""
+        return (self.src, self.dest, repr(self.tag), self.attempt, self.action)
+
+    def to_dict(self) -> dict:
+        return {
+            "action": self.action,
+            "src": self.src,
+            "dest": self.dest,
+            "tag": list(self.tag) if isinstance(self.tag, tuple) else self.tag,
+            "attempt": self.attempt,
+            "delay_s": self.delay_s,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FaultEvent":
+        return cls(
+            d["action"],
+            src=d["src"],
+            dest=d["dest"],
+            tag=_tag_from_json(d["tag"]),
+            attempt=d.get("attempt", 0),
+            delay_s=d.get("delay_s", 0.0),
+        )
+
+
 @dataclass(frozen=True)
 class CrashFault:
     """Rank ``rank`` dies at virtual time ``at_time`` (applied at the next
@@ -85,9 +156,10 @@ class CrashFault:
 class FaultPlan:
     """A replayable set of message faults and rank crashes."""
 
-    def __init__(self, rules=(), crashes=(), seed: int = 0):
+    def __init__(self, rules=(), crashes=(), seed: int = 0, events=()):
         self.rules = list(rules)
         self.crashes = list(crashes)
+        self.events = list(events)
         self.seed = int(seed)
         ranks = [c.rank for c in self.crashes]
         if len(set(ranks)) != len(ranks):
@@ -102,18 +174,24 @@ class FaultPlan:
 
     def with_crash(self, rank: int, at_time: float) -> "FaultPlan":
         return FaultPlan(
-            self.rules, self.crashes + [CrashFault(rank, at_time)], self.seed
+            self.rules, self.crashes + [CrashFault(rank, at_time)], self.seed,
+            events=self.events,
         )
 
     # -- message decisions -------------------------------------------------
 
     def message_fault(self, src, dest, tag, attempt: int = 0):
-        """The rule (or None) afflicting this transmission attempt.
+        """The rule or event (or None) afflicting this transmission attempt.
 
-        The decision hashes ``(seed, rule#, src, dest, tag, attempt)`` —
-        independent per message and per retry attempt, so retransmissions
-        get fresh coin flips and host order never changes the outcome.
+        Explicit events are consulted first (exact match, deterministic);
+        otherwise the probabilistic rules apply.  A rule decision hashes
+        ``(seed, rule#, src, dest, tag, attempt)`` — independent per
+        message and per retry attempt, so retransmissions get fresh coin
+        flips and host order never changes the outcome.
         """
+        for ev in self.events:
+            if ev.matches(src, dest, tag, attempt):
+                return ev
         for i, rule in enumerate(self.rules):
             if not rule.matches(src, dest, tag):
                 continue
@@ -162,7 +240,15 @@ class FaultPlan:
             for c in self.crashes
             if c.rank != rank
         ]
-        return FaultPlan(rules, crashes, self.seed)
+        events = []
+        for ev in self.events:
+            if ev.src == rank or ev.dest == rank:
+                continue
+            events.append(
+                FaultEvent(ev.action, remap(ev.src), remap(ev.dest), ev.tag,
+                           ev.attempt, ev.delay_s)
+            )
+        return FaultPlan(rules, crashes, self.seed, events=events)
 
     def shifted(self, elapsed: float) -> "FaultPlan":
         """The plan with crash times advanced by ``elapsed`` virtual seconds
@@ -172,7 +258,21 @@ class FaultPlan:
             CrashFault(c.rank, max(c.at_time - elapsed, 0.0))
             for c in self.crashes
         ]
-        return FaultPlan(self.rules, crashes, self.seed)
+        return FaultPlan(self.rules, crashes, self.seed, events=self.events)
+
+    def without_corrupt(self) -> "FaultPlan":
+        """The plan minus every CORRUPT rule and event.
+
+        Recovery drivers re-run a window after ABFT flags silent
+        corruption; the transient-SDC model (matching the clean-network
+        retry in :mod:`repro.service`) says the same bits do not flip again
+        on the retry, so the corrupting faults are stripped."""
+        return FaultPlan(
+            [r for r in self.rules if r.action != CORRUPT],
+            self.crashes,
+            self.seed,
+            events=[e for e in self.events if e.action != CORRUPT],
+        )
 
     # -- serialization -----------------------------------------------------
 
@@ -193,6 +293,7 @@ class FaultPlan:
             "crashes": [
                 {"rank": c.rank, "at_time": c.at_time} for c in self.crashes
             ],
+            "events": [e.to_dict() for e in self.events],
         }
 
     @classmethod
@@ -211,7 +312,8 @@ class FaultPlan:
         crashes = [
             CrashFault(c["rank"], c["at_time"]) for c in d.get("crashes", ())
         ]
-        return cls(rules, crashes, seed=d.get("seed", 0))
+        events = [FaultEvent.from_dict(e) for e in d.get("events", ())]
+        return cls(rules, crashes, seed=d.get("seed", 0), events=events)
 
     def to_json(self, path=None) -> str:
         text = json.dumps(self.to_dict(), indent=2)
@@ -231,7 +333,7 @@ class FaultPlan:
     def __repr__(self):
         return (
             f"FaultPlan(rules={len(self.rules)}, crashes={len(self.crashes)}, "
-            f"seed={self.seed})"
+            f"events={len(self.events)}, seed={self.seed})"
         )
 
 
@@ -270,6 +372,14 @@ class FaultStats:
     corrupted: int = 0
     retransmits: int = 0
     crashes: list = field(default_factory=list)  # (rank, at_clock)
+    #: every message fault that actually fired, as replayable
+    #: :class:`FaultEvent` records — the raw material the chaos shrinker
+    #: turns a probabilistic failing run into an explicit schedule from
+    injected: list = field(default_factory=list)
 
     def total_injected(self) -> int:
         return self.dropped + self.duplicated + self.delayed + self.corrupted
+
+    def injected_events(self) -> list:
+        """The realised faults as a canonically ordered event list."""
+        return sorted(self.injected, key=lambda e: e.key())

@@ -34,7 +34,15 @@ import numpy as np
 
 from ..numfact.counter import KernelCounter
 from ..obs import tracer as _obs
-from .faults import CORRUPT, DELAY, DROP, DUPLICATE, FaultStats, ReliableDelivery
+from .faults import (
+    CORRUPT,
+    DELAY,
+    DROP,
+    DUPLICATE,
+    FaultEvent,
+    FaultStats,
+    ReliableDelivery,
+)
 from .specs import MachineSpec
 
 
@@ -347,6 +355,14 @@ class Env:
     def spec(self) -> MachineSpec:
         return self._sim.spec
 
+    @property
+    def metrics(self):
+        """The run's :class:`repro.obs.MetricsRegistry`, or None when no
+        tracer is attached (rank programs use this to count protocol-level
+        observations such as ABFT detections)."""
+        tr = self._sim.tracer
+        return tr.metrics if tr is not None else None
+
     # -- compute -----------------------------------------------------------
 
     def compute(self, kernel: str, nflops: float, gran=None) -> None:
@@ -441,6 +457,8 @@ class Env:
                     sim.fault_stats.corrupted += 1
                     if tr is not None:
                         tr.metrics.counter("sim.faults.corrupted").inc()
+                else:
+                    action = None  # nothing numeric to flip: no fault fired
             if action == DELAY:
                 arrival += rule.delay_s
                 sim.fault_stats.delayed += 1
@@ -454,6 +472,15 @@ class Env:
                 sim.fault_stats.dropped += 1
                 if tr is not None:
                     tr.metrics.counter("sim.faults.dropped").inc()
+            if action is not None:
+                # materialise the realised fault as a replayable event
+                # (the chaos shrinker minimises this list)
+                sim.fault_stats.injected.append(
+                    FaultEvent(
+                        action, self.rank, int(dest), tag, attempt,
+                        delay_s=rule.delay_s if action == DELAY else 0.0,
+                    )
+                )
 
             if not failed:
                 rec = sim._deposit(
@@ -842,6 +869,19 @@ class Simulator:
             env = self.envs[r]
             if at is not None:
                 env.clock = max(env.clock, at)
+            if tr is not None and env.clock > blocked_at[r]:
+                # the rank died while blocked: close the open wait span so
+                # its timeline still tiles [0, clock] (the chaos campaign's
+                # trace-consistency oracle checks exactly this)
+                if state[r] == RECV:
+                    tr.span(
+                        r, f"recv {_obs.tag_label(waiting_tag[r])}",
+                        _obs.RECV_WAIT, blocked_at[r], env.clock,
+                        {"crashed": True},
+                    )
+                elif state[r] == BARRIER:
+                    tr.span(r, "barrier", _obs.BARRIER_WAIT,
+                            blocked_at[r], env.clock, {"crashed": True})
             state[r] = CRASHED
             waiting_tag[r] = None
             waiting_deadline[r] = None

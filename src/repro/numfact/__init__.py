@@ -23,7 +23,14 @@ from .robust import (
     NumericalError,
     PerturbationRecord,
     PivotMonitor,
+    SilentCorruptionError,
     matrix_maxnorm,
+)
+from .abft import (
+    AbftLedger,
+    payload_checksums,
+    recover_block_column,
+    verify_payload,
 )
 
 __all__ = [
@@ -51,5 +58,10 @@ __all__ = [
     "NumericalError",
     "PerturbationRecord",
     "PivotMonitor",
+    "SilentCorruptionError",
     "matrix_maxnorm",
+    "AbftLedger",
+    "payload_checksums",
+    "recover_block_column",
+    "verify_payload",
 ]

@@ -51,6 +51,7 @@ class BlockLUMatrix:
         self.blocks = {} if blocks is None else blocks
         self.n = part.n
         self.pivot_seq = [None] * part.N  # per block column: list of (m, t)
+        self.abft = None  # optional repro.numfact.abft.AbftLedger
 
     # -- construction ------------------------------------------------------
 
@@ -113,6 +114,8 @@ class BlockLUMatrix:
         o1 = r1 - part.start(I1)
         o2 = r2 - part.start(I2)
         if b1 is not None and b2 is not None:
+            if self.abft is not None:
+                self.abft.on_swap(I1, o1, b1, I2, o2, b2, J)
             tmp = b1[o1].copy()
             b1[o1] = b2[o2]
             b2[o2] = tmp

@@ -101,3 +101,69 @@ def scale_vector(x, alpha, counter: KernelCounter = None):
     if counter is not None:
         counter.add(BLAS1, float(len(x)))
     return x
+
+
+# -- ABFT checksum kernels ---------------------------------------------------
+#
+# A block ``B`` carries two checksum vectors: its column sums ``ones @ B``
+# and its row sums ``B @ ones``.  The point of keeping both is that they
+# propagate through the factorization's BLAS-3 kernels at BLAS-2 cost:
+#
+# * ``C -= A @ B``  =>  cs(C) -= cs(A) @ B   and  rs(C) -= A @ rs(B)
+# * ``L X = B``     =>  rs(X) = L^{-1} rs(B)
+#
+# so a ``b x b`` GEMM (2b^3 flops) costs only ~4b^2 extra flops to protect
+# — the <15% ABFT overhead budget (BENCH_abft_overhead.json) follows from
+# this ratio at the paper's block size.
+
+
+def block_checksums(B):
+    """Fresh (column-sum, row-sum) checksum pair of a dense block."""
+    B = np.asarray(B)
+    return B.sum(axis=0), B.sum(axis=1)
+
+
+def checksum_carry_gemm(cs, rs, A, B, cs_a=None, rs_b=None,
+                        counter: KernelCounter = None):
+    """Advance ``(cs, rs)`` of a target block across ``C -= A @ B``.
+
+    In place on the checksum vectors; ``A``/``B`` are the operands of the
+    GEMM that just ran (or is about to — the carry is independent of C).
+    When the caller already holds the operands' own checksums — the
+    ledger anchors ``cs(A)`` at Factor time and carries ``rs(B)`` through
+    the triangular solve — pass them as ``cs_a``/``rs_b`` to skip the
+    two O(b^2) reductions and leave only the border products.
+
+    Accounting: with the operand checksums in hand this is exactly the
+    Huang-Abraham augmented multiply ``[A; cs_a] @ [B, rs_b]`` — the
+    checksum rows/columns ride as the border of a single DGEMM call — so
+    the border flops are priced at DGEMM rate at the protected GEMM's
+    granularity.  Only the fallback reductions (operand not in the
+    caller's ledger, e.g. a remote L block) are BLAS-2.
+    """
+    m, k = A.shape
+    n = B.shape[1]
+    extra = 0.0
+    if cs_a is None:
+        cs_a = A.sum(axis=0)
+        extra += m * k
+    if rs_b is None:
+        rs_b = B.sum(axis=1)
+        extra += k * n
+    cs -= cs_a @ B
+    rs -= A @ rs_b
+    if counter is not None:
+        counter.add(DGEMM, float(2 * k * n + 2 * m * k), gran=min(k, n))
+        if extra:
+            counter.add(DGEMV, float(extra))
+    return cs, rs
+
+
+def checksum_carry_solve(L, rs, counter: KernelCounter = None):
+    """Advance a row-sum checksum across ``X = L^{-1} B`` (unit lower L).
+
+    Returns the predicted ``rs(X)`` given ``rs = rs(B)``; in place."""
+    unit_lower_solve(L, rs)
+    if counter is not None:
+        counter.add(DGEMV, FLOP_TRSM(L.shape[0], 1))
+    return rs

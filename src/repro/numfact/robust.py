@@ -37,6 +37,34 @@ class NumericalError(RuntimeError):
         self.iterations = iterations
 
 
+class SilentCorruptionError(RuntimeError):
+    """ABFT checksums caught silently corrupted data.
+
+    A block whose contents disagree with its carried column/row checksums
+    (or a wire payload whose checksum record no longer matches) was about
+    to be consumed — a delivered-but-corrupted message, or a bit error in
+    a compute kernel's output, that no protocol-level check would see.
+
+    Structured attributes: ``block`` (the ``(I, J)`` block coordinates, or
+    None when the corruption is not attributable to one block), ``where``
+    (the verification site, e.g. ``"payload:col"``, ``"ledger"``) and
+    ``error`` (the worst absolute checksum discrepancy observed).
+    """
+
+    def __init__(self, message, block=None, where: str = None,
+                 error: float = None):
+        super().__init__(message)
+        self.block = tuple(block) if block is not None else None
+        self.where = where
+        self.error = error
+
+    def signature(self) -> tuple:
+        """Replay-comparison key: two detections of the same corruption
+        (e.g. original run vs. shrunk-schedule replay) have equal
+        signatures, including the exact float discrepancy."""
+        return (self.block, self.where, self.error, str(self))
+
+
 @dataclass(frozen=True)
 class PerturbationRecord:
     """One tiny-pivot replacement: global ``column``, the pivot value the

@@ -19,9 +19,11 @@ import numpy as np
 from ..sparse import CSRMatrix
 from ..supernodes import build_partition, build_block_structure, BlockPartition, BlockStructure
 from ..symbolic import static_symbolic_factorization, SymbolicFactorization
+from .abft import AbftLedger, recover_block_column
 from .blocks import BlockLUMatrix
 from .counter import KernelCounter
 from .kernels import unit_lower_solve, upper_solve
+from .robust import PivotMonitor, SilentCorruptionError
 from .tasks import factor_block_column, update_block_column
 
 
@@ -34,10 +36,59 @@ class LUFactorization:
     part: BlockPartition
     bstruct: BlockStructure
     counter: KernelCounter
+    #: when ABFT is on: the pristine (unfactored) block matrix recovery
+    #: replays from, and the pivot-monitor settings to replay with
+    pristine: BlockLUMatrix = None
+    monitor_cfg: tuple = None
 
     @property
     def n(self) -> int:
         return self.matrix.n
+
+    @property
+    def abft(self) -> AbftLedger:
+        return self.matrix.abft
+
+    def _monitor_factory(self):
+        if self.monitor_cfg is None:
+            return None
+        anorm, perturb, threshold = self.monitor_cfg
+        return lambda: PivotMonitor(anorm, perturb, threshold)
+
+    def verify_abft(self, recover: bool = True, metrics=None) -> int:
+        """Check every block against the ABFT ledger; recover corrupted
+        block columns by localized replay from the pristine matrix.
+
+        Returns the number of block columns recovered (0 when clean).
+        Raises :class:`SilentCorruptionError` when corruption is found and
+        ``recover`` is off, no pristine copy is held, or the replay itself
+        fails verification.  No-op when ABFT was not enabled.
+        """
+        m = self.matrix
+        led = m.abft
+        if led is None:
+            return 0
+        bad = led.corrupted_blocks(m)
+        if not bad:
+            return 0
+        if not recover or self.pristine is None:
+            I, J = bad[0]
+            led.verify_block(I, J, m.blocks[(I, J)], where="pre-solve")
+        led.detected += len(bad)
+        if metrics is not None:
+            metrics.counter("abft.detected").inc(len(bad))
+        cols = sorted({J for (_I, J) in bad})
+        mf = self._monitor_factory()
+        for J in cols:
+            recover_block_column(m, J, self.pristine, monitor_factory=mf)
+        still = led.corrupted_blocks(m)
+        if still:
+            I, J = still[0]
+            led.verify_block(I, J, m.blocks[(I, J)], where="recovery")
+        led.recovered += len(cols)
+        if metrics is not None:
+            metrics.counter("abft.recovered").inc(len(cols))
+        return len(cols)
 
     def solve(self, b: np.ndarray) -> np.ndarray:
         """Solve ``A x = b`` for the *permuted* matrix this was built from.
@@ -46,6 +97,7 @@ class LUFactorization:
         (LINPACK/ipiv semantics), then back substitution runs over U.
         ``b`` may be a vector or an ``(n, k)`` block of right-hand sides.
         """
+        self.verify_abft()
         m = self.matrix
         part = self.part
         x = np.asarray(b, dtype=np.float64).copy()
@@ -80,6 +132,7 @@ class LUFactorization:
         substitution on the lower-triangular ``U^T``) followed by applying
         ``M_K^{-T}`` and the *reversed* pivot swaps for K descending.
         """
+        self.verify_abft()
         m = self.matrix
         part = self.part
         x = np.asarray(b, dtype=np.float64).copy()
@@ -143,6 +196,7 @@ def sstar_factor(
     counter: KernelCounter = None,
     pivot_threshold: float = 1.0,
     monitor=None,
+    abft: bool = False,
 ) -> LUFactorization:
     """Factor an ordered, zero-free-diagonal matrix with the S* algorithm.
 
@@ -151,6 +205,13 @@ def sstar_factor(
     structure cache in :mod:`repro.service` do this).  ``monitor`` (a
     :class:`repro.numfact.PivotMonitor`) enables pivot growth tracking and
     tiny-pivot perturbation.
+
+    ``abft=True`` attaches an :class:`repro.numfact.abft.AbftLedger`: every
+    block carries column/row checksums through the Factor/Update sweep,
+    panels are verified when ``Factor(K)`` consumes them, and a pristine
+    copy of the scattered matrix is retained so a corrupted block column
+    can be recomputed in place (during the sweep here, or later via
+    :meth:`LUFactorization.verify_abft` before the triangular solves).
     """
     if sym is None:
         sym = static_symbolic_factorization(A)
@@ -161,15 +222,44 @@ def sstar_factor(
     m = BlockLUMatrix.from_csr(A, part, bstruct)
     counter = counter if counter is not None else KernelCounter()
 
+    pristine = None
+    monitor_cfg = None
+    monitor_factory = None
+    if abft:
+        pristine = BlockLUMatrix(
+            part, bstruct,
+            blocks={key: blk.copy() for key, blk in m.blocks.items()},
+        )
+        AbftLedger.attach(m, counter=counter)
+        if monitor is not None:
+            monitor_cfg = (monitor.anorm, monitor.perturb, monitor.threshold)
+
+            def monitor_factory():
+                return PivotMonitor(*monitor_cfg)
+
     N = part.N
     for K in range(N):
-        fc = factor_block_column(
-            m, K, counter=counter, pivot_threshold=pivot_threshold,
-            monitor=monitor,
-        )
+        try:
+            fc = factor_block_column(
+                m, K, counter=counter, pivot_threshold=pivot_threshold,
+                monitor=monitor,
+            )
+        except SilentCorruptionError:
+            if pristine is None:
+                raise
+            # corrupted panel caught at consumption: replay the column's
+            # updates from pristine inputs, then retry the factorization
+            recover_block_column(m, K, pristine,
+                                 monitor_factory=monitor_factory)
+            m.abft.recovered += 1
+            fc = factor_block_column(
+                m, K, counter=counter, pivot_threshold=pivot_threshold,
+                monitor=monitor,
+            )
         for J in bstruct.u_block_cols(K):
             update_block_column(m, fc, J, counter=counter)
-    return LUFactorization(m, sym, part, bstruct, counter)
+    return LUFactorization(m, sym, part, bstruct, counter,
+                           pristine=pristine, monitor_cfg=monitor_cfg)
 
 
 def sstar_refactor(
@@ -178,6 +268,7 @@ def sstar_refactor(
     counter: KernelCounter = None,
     pivot_threshold: float = 1.0,
     monitor=None,
+    abft: bool = False,
 ) -> LUFactorization:
     """Numerically re-factor a matrix with the *same nonzero pattern* as a
     previous factorization, reusing its symbolic state.
@@ -198,4 +289,5 @@ def sstar_refactor(
         counter=counter,
         pivot_threshold=pivot_threshold,
         monitor=monitor,
+        abft=abft,
     )

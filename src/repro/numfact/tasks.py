@@ -73,6 +73,11 @@ def factor_block_column(
     of letting the elimination divide by them."""
     part = m.part
     bs = part.size(K)
+    if m.abft is not None:
+        # verify the panel at consumption: a silently corrupted input
+        # block must be caught before its poison spreads into the factors
+        for I in m.bstruct.l_block_rows(K):
+            m.abft.verify_block(I, K, m.blocks[(I, K)], where=f"factor({K})")
     below = [I for I in m.bstruct.l_block_rows(K) if I > K]
     panel_blocks = [(K, m.blocks[(K, K)])] + [(I, m.blocks[(I, K)]) for I in below]
     panel = np.vstack([b for _, b in panel_blocks])
@@ -140,6 +145,9 @@ def factor_block_column(
         off += rows
 
     m.pivot_seq[K] = pivots
+    if m.abft is not None:
+        # the panel kernels are elementwise; re-anchor rather than carry
+        m.abft.anchor_column(m, K)
     return FactoredColumn(
         K=K,
         pivots=pivots,
@@ -189,7 +197,11 @@ def update_block_column(
     # structural subcolumn count, for paper-faithful FLOP accounting
     ncols_structural = len(m.bstruct.udense_cols[(K, J)])
 
+    if m.abft is not None:
+        m.abft.pre_solve(K, J, fc.diag)
     unit_lower_solve(fc.diag, ukj, counter=counter, ncols_structural=ncols_structural)
+    if m.abft is not None:
+        m.abft.post_solve(K, J, ukj)
 
     for I, lik in sorted(fc.lblocks.items()):
         target = m.blocks.get((I, J))
@@ -200,6 +212,8 @@ def update_block_column(
                     f"update ({K},{J}) touches absent block ({I},{J})"
                 )
             continue
+        if m.abft is not None:
+            m.abft.carry_gemm(I, J, lik, ukj, K=K)
         gemm_update(
             target,
             lik,

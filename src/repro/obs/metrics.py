@@ -156,6 +156,18 @@ class MetricsRegistry:
             return self._gauges[name].value
         return 0.0
 
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one (campaign aggregation):
+        counters add, gauges keep the max, histograms pool samples."""
+        for name, c in other._counters.items():
+            self.counter(name).inc(c.value)
+        for name, g in other._gauges.items():
+            self.gauge(name).track_max(g.value)
+        for name, h in other._histograms.items():
+            mine = self.histogram(name, h.bounds)
+            for v in h.samples:
+                mine.observe(v)
+
     def as_dict(self) -> dict:
         """Deterministic (name-sorted) snapshot of the whole registry."""
         return {

@@ -25,6 +25,7 @@ from ..numfact import (
     factored_column_of,
     update_block_column,
 )
+from ..numfact.abft import AbftLedger, payload_checksums, verify_payload
 from ..numfact.tasks import FactoredColumn
 from ..scheduling import Schedule, graph_schedule, compute_ahead_schedule
 from ..supernodes import BlockPartition, BlockStructure
@@ -119,6 +120,8 @@ def _rank_program(env, ctx):
                 "diag": fc.diag.copy(),
                 "lblocks": {I: b.copy() for I, b in fc.lblocks.items()},
             }
+            if ctx.get("abft"):
+                payload["abft"] = payload_checksums(payload)
             if broadcast:
                 dests = [p for p in range(env.nprocs) if p != env.rank]
             else:
@@ -132,6 +135,9 @@ def _rank_program(env, ctx):
                 fc = received[k]
             else:
                 payload = yield env.recv(("col", k))
+                if ctx.get("abft"):
+                    verify_payload(payload, where=f"payload:col({k})",
+                                   column=k, metrics=env.metrics)
                 fc = FactoredColumn(
                     K=payload["K"],
                     pivots=payload["pivots"],
@@ -160,7 +166,10 @@ def _rank_program(env, ctx):
         # code) so no message is left undelivered at exit
         for k in range(k0, k1):
             if int(schedule.owner[k]) != env.rank and k not in seen:
-                yield env.recv(("col", k))
+                payload = yield env.recv(("col", k))
+                if ctx.get("abft"):
+                    verify_payload(payload, where=f"payload:col({k})",
+                                   column=k, metrics=env.metrics)
     return {"pivot_seq": m.pivot_seq, "high_water": high_water}
 
 
@@ -177,6 +186,7 @@ def run_1d(
     stage_range: tuple = None,
     start_from: BlockLUMatrix = None,
     monitor=None,
+    abft: bool = False,
 ) -> OneDResult:
     """Run the 1D parallel factorization of an ordered matrix ``A``.
 
@@ -191,6 +201,14 @@ def run_1d(
     resume from a checkpoint instead of the original ``A``.  ``monitor``
     is an optional :class:`repro.numfact.PivotMonitor` shared by all
     ranks for pivot-growth tracking and tiny-pivot perturbation.
+
+    ``abft=True`` turns on algorithm-based fault tolerance: every rank's
+    local blocks carry checksums through the kernels
+    (:class:`repro.numfact.AbftLedger`), multicast column payloads carry a
+    mirror checksum record, and receivers verify payloads at consumption —
+    a delivered-but-corrupted message raises
+    :class:`repro.numfact.SilentCorruptionError` instead of silently
+    poisoning the factorization.
     """
     if tg is None:
         tg = build_task_graph(bstruct)
@@ -204,6 +222,9 @@ def run_1d(
         raise ValueError(f"unknown 1D method {method!r}")
 
     locals_ = _distribute_1d(A, part, bstruct, schedule.owner, nprocs, full=start_from)
+    if abft:
+        for m in locals_:
+            AbftLedger.attach(m)
     ctx = {
         "schedule": schedule,
         "tg": tg,
@@ -211,6 +232,7 @@ def run_1d(
         "broadcast": broadcast,
         "pivot_threshold": pivot_threshold,
         "monitor": monitor,
+        "abft": abft,
     }
     if stage_range is not None:
         ctx["stage_range"] = stage_range

@@ -32,7 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..machine import FaultPlan, RankCrashedError
-from ..numfact import BlockLUMatrix
+from ..numfact import BlockLUMatrix, SilentCorruptionError
 from ..obs import CHECKPOINT
 from .mapping import Grid2D
 from .oned import run_1d
@@ -48,6 +48,7 @@ class RoundInfo:
     ok: bool
     crashed: tuple = ()
     seconds: float = 0.0
+    corrupted: tuple = None  # block coords when ABFT aborted the round
 
 
 @dataclass
@@ -145,6 +146,24 @@ def _run_resilient(runner, A, part, bstruct, nprocs, spec, *,
                 start_from=start,
                 **runner_kwargs,
             )
+        except SilentCorruptionError as e:
+            # ABFT caught a silently corrupted payload inside the round.
+            # The corrupted message is gone (its inputs live only on the
+            # sender), so localized recompute is impossible here: fall back
+            # to checkpoint restart of the window.  Transient-SDC model:
+            # the corrupting event will not repeat, so the replay runs on
+            # the plan with CORRUPT rules/events stripped.
+            restarts += 1
+            if restarts > max_restarts:
+                raise
+            out.rounds.append(RoundInfo(
+                window, nprocs, ok=False, corrupted=e.block,
+            ))
+            note_round(window, round_start, False, (), 0.0, nprocs)
+            if tracer is not None:
+                tracer.metrics.counter("abft.recovered").inc()
+            plan = plan.without_corrupt()
+            continue  # re-run the same window from the checkpoint
         except RankCrashedError as e:
             restarts += 1
             if restarts > max_restarts:
@@ -223,8 +242,13 @@ def run_1d_resilient(
     max_restarts: int = None,
     pivot_threshold: float = 1.0,
     monitor=None,
+    abft: bool = False,
 ) -> ResilientResult:
-    """1D factorization with panel-boundary checkpoints and crash restart."""
+    """1D factorization with panel-boundary checkpoints and crash restart.
+
+    ``abft=True`` additionally checksums multicast payloads; a detected
+    silent corruption discards the round and replays the window from the
+    checkpoint (counted in ``abft.recovered``)."""
     return _run_resilient(
         run_1d, A, part, bstruct, nprocs, spec,
         ckpt_interval=ckpt_interval, faults=faults, reliable=reliable,
@@ -234,6 +258,7 @@ def run_1d_resilient(
             "method": method,
             "pivot_threshold": pivot_threshold,
             "monitor": monitor,
+            "abft": abft,
         },
     )
 
@@ -254,12 +279,14 @@ def run_2d_resilient(
     max_restarts: int = None,
     pivot_threshold: float = 1.0,
     monitor=None,
+    abft: bool = False,
 ) -> ResilientResult:
     """2D factorization with panel-boundary checkpoints and crash restart.
 
     On a crash the grid is re-shaped for the surviving rank count
     (``Grid2D.preferred``) and the blocks are redistributed from the
-    checkpoint — the 2D analogue of shrinking the process grid.
+    checkpoint — the 2D analogue of shrinking the process grid.  ``abft``
+    behaves as in :func:`run_1d_resilient`.
     """
     return _run_resilient(
         _run_2d_round, A, part, bstruct, nprocs, spec,
@@ -270,5 +297,6 @@ def run_2d_resilient(
             "synchronous": synchronous,
             "pivot_threshold": pivot_threshold,
             "monitor": monitor,
+            "abft": abft,
         },
     )

@@ -32,6 +32,7 @@ import numpy as np
 
 from ..machine import Simulator, MachineSpec
 from ..numfact import BlockLUMatrix, SingularMatrixError, StructureViolation
+from ..numfact.abft import payload_checksums, verify_payload
 from ..numfact.kernels import unit_lower_solve
 from ..sparse import CSRMatrix
 from ..supernodes import BlockPartition, BlockStructure
@@ -137,6 +138,7 @@ def _rank_program_2d(env, ctx):
     synchronous: bool = ctx["synchronous"]
     pivot_threshold: float = ctx["pivot_threshold"]
     monitor = ctx.get("monitor")
+    abft = bool(ctx.get("abft"))
     r, c = grid.coords(env.rank)
     pr, pc = grid.pr, grid.pc
     N = part.N
@@ -257,6 +259,11 @@ def _rank_program_2d(env, ctx):
             "diag": blocks.get((K, K)) if diag_r == r else None,
             "lblocks": {I: blocks[(I, K)] for I in myI if I > K},
         }
+        if abft:
+            # column K is final after Factor(K): checksums taken from the
+            # live views stay valid for the in-flight deep-copied payload
+            payload["abft"] = payload_checksums(
+                {key: v for key, v in payload.items()})
         lcol_cache[K] = payload
         env.multicast(grid.row_ranks(r), ("lcol", K), payload)
 
@@ -266,6 +273,9 @@ def _rank_program_2d(env, ctx):
             info = lcol_cache[K]
         else:
             info = yield env.recv(("lcol", K))
+            if abft:
+                verify_payload(info, where=f"payload:lcol({K})",
+                               column=K, metrics=env.metrics)
             lcol_cache[K] = info
         pivots = info["pivots"]
         cols_after = [J for J in my_cols if J > K]
@@ -281,8 +291,15 @@ def _rank_program_2d(env, ctx):
             elif r1 == r or r2 == r:
                 mine, theirs = (gm, t) if r1 == r else (t, gm)
                 peer = grid.rank(r2 if r1 == r else r1, c)
-                env.send(peer, ("swap", K, step, r), _pack_row(blocks, part, cols_after, mine))
+                outrow = _pack_row(blocks, part, cols_after, mine)
+                if abft:
+                    outrow["abft"] = payload_checksums(
+                        {key: v for key, v in outrow.items()})
+                env.send(peer, ("swap", K, step, r), outrow)
                 incoming = yield env.recv(("swap", K, step, (r2 if r1 == r else r1)))
+                if abft:
+                    verify_payload(incoming, where=f"payload:swap({K},{step})",
+                                   column=K, metrics=env.metrics)
                 _store_row(blocks, part, cols_after, mine, incoming)
         # scaling of the U row panel by the owners of block row K
         if r == K % pr:
@@ -300,10 +317,18 @@ def _rank_program_2d(env, ctx):
                     )
                     env.compute_counted(snap)
                     scaled[J] = ukj
+            if abft:
+                # block row K is final after the scaling; see lcol above
+                scaled["abft"] = payload_checksums(
+                    {key: v for key, v in scaled.items()})
             urow_cache[K] = scaled
             env.multicast(grid.col_ranks(c), ("urow", K, c), scaled)
         else:
-            urow_cache[K] = yield env.recv(("urow", K, c))
+            urow = yield env.recv(("urow", K, c))
+            if abft:
+                verify_payload(urow, where=f"payload:urow({K})",
+                               column=K, metrics=env.metrics)
+            urow_cache[K] = urow
 
     # ---- Update_2D(K, J): local GEMM sweep (Fig. 15) ---------------------
     def update(K, J):
@@ -373,7 +398,11 @@ def _rank_program_2d(env, ctx):
         # still multicast its L panel along the processor rows; drain it so
         # no message is left undelivered at exit (the Cbuffer free)
         elif N >= 1 and c != (N - 1) % pc:
-            lcol_cache[N - 1] = yield env.recv(("lcol", N - 1))
+            last = yield env.recv(("lcol", N - 1))
+            if abft:
+                verify_payload(last, where=f"payload:lcol({N - 1})",
+                               column=N - 1, metrics=env.metrics)
+            lcol_cache[N - 1] = last
     return {
         "pivot_seq": pivseqs,
         "update_spans": update_spans,
@@ -393,6 +422,7 @@ def run_2d(
     stage_range: tuple = None,
     start_from: BlockLUMatrix = None,
     monitor=None,
+    abft: bool = False,
 ) -> TwoDResult:
     """Run the 2D parallel factorization of an ordered matrix ``A``.
 
@@ -401,6 +431,13 @@ def run_2d(
     ``reliable=...``).  Checkpoint/restart passes ``stage_range=(k0, k1)``
     and ``start_from`` (a partially factored merged matrix); ``monitor``
     is an optional :class:`repro.numfact.PivotMonitor`.
+
+    ``abft=True`` adds checksum records to the block-carrying payloads
+    (``lcol`` L panels, ``urow`` scaled row panels, ``swap`` row
+    exchanges); receivers verify them at consumption and raise
+    :class:`repro.numfact.SilentCorruptionError` on a mismatch.  The
+    O(b)-word pivot-reduction messages (``pmax``/``pbest``) are not
+    checksummed — see DESIGN.
     """
     if grid is None:
         grid = Grid2D.preferred(nprocs)
@@ -415,6 +452,7 @@ def run_2d(
         "synchronous": synchronous,
         "pivot_threshold": pivot_threshold,
         "monitor": monitor,
+        "abft": abft,
     }
     if stage_range is not None:
         ctx["stage_range"] = stage_range

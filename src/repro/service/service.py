@@ -38,6 +38,7 @@ from typing import Optional
 import numpy as np
 
 from ..machine import DeliveryError, MachineSpec
+from ..numfact import SilentCorruptionError
 from ..obs import BATCH, JOB, QUEUE, MetricsRegistry, as_tracer
 from .cache import AnalysisCache, values_key
 
@@ -335,6 +336,7 @@ class SolveService:
         solver = None
         error = None
         attempts = 0
+        corruption_retry = False
         while True:
             attempts += 1
             try:
@@ -345,6 +347,16 @@ class SolveService:
                 if attempts > self.max_retries:
                     break
                 self._counter("retries").inc()
+            except SilentCorruptionError as e:
+                # ABFT caught a corrupted-but-delivered payload: same
+                # transient-fault retry policy as a transport give-up
+                error = e
+                if attempts > self.max_retries:
+                    break
+                self._counter("retries").inc()
+                corruption_retry = True
+        if solver is not None and corruption_retry:
+            self.metrics_registry.counter("abft.recovered").inc()
 
         if solver is not None:
             X = solver.solve(B)
