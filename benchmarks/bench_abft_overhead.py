@@ -88,7 +88,7 @@ def test_abft_overhead_report(ctx_cache):
             for r in rows
         ],
     )
-    save_results("BENCH_abft_overhead", rows)
+    save_results("abft_overhead", rows)
 
     for r in rows:
         assert r["flops_overhead"] > 0.0  # protection is never free

@@ -14,8 +14,11 @@ from repro.api import ExperimentContext
 from repro.machine import T3E
 from repro.parallel import run_1d
 from repro.taskgraph import build_task_graph
+from repro.tune.space import BLOCK_SIZES
 
-SIZES = [2, 4, 8, 16, 25, 50]
+# the sweep is the autotuner's declared block-size axis, so the ablation
+# and the `repro tune` search space can never drift apart
+SIZES = list(BLOCK_SIZES)
 
 
 @pytest.fixture(scope="module")

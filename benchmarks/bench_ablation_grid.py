@@ -11,6 +11,7 @@ import pytest
 from conftest import print_table, save_results
 from repro.machine import T3E
 from repro.parallel import Grid2D, buffer_requirements, run_2d
+from repro.tune.space import grid_shapes
 
 NPROCS = 16
 
@@ -19,8 +20,10 @@ NPROCS = 16
 def grid_rows(ctx_cache):
     ctx = ctx_cache("goodwin")
     rows = []
-    for pr in (1, 2, 4, 8, 16):
-        pc = NPROCS // pr
+    # every factorization of P from the autotuner's declared grid axis —
+    # the ablation intentionally includes the degenerate tall shapes the
+    # tuner's paper_regime filter would drop, to show why it drops them
+    for pr, pc in grid_shapes(NPROCS, paper_regime=False):
         g = Grid2D(pr, pc)
         res = run_2d(ctx.ordered.A, ctx.part, ctx.bstruct, NPROCS, T3E, grid=g)
         rep = buffer_requirements(ctx.bstruct, g)

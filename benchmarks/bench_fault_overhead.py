@@ -83,7 +83,7 @@ def test_fault_overhead_report(overhead_rows):
     ]
     print_table("Fault-tolerance virtual-time overhead (1D CA, P=8)",
                 header, rows)
-    save_results("BENCH_fault_overhead", overhead_rows)
+    save_results("fault_overhead", overhead_rows)
 
     for r in overhead_rows:
         # protocol costs are real but bounded: acks alone stay cheap, and

@@ -112,7 +112,7 @@ def test_service_throughput_report(service_rows):
     ]
     print_table("Serving layer: refactor amortization and multi-RHS batching",
                 header, rows)
-    save_results("BENCH_service_throughput", service_rows)
+    save_results("service_throughput", service_rows)
 
     for r in service_rows:
         # acceptance: cached refactor amortizes the analyze phase >= 3x

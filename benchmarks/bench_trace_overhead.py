@@ -86,7 +86,7 @@ def test_trace_overhead_report(overhead_rows):
         for r in overhead_rows
     ]
     print_table("Tracing overhead (wall clock, 1D RAPID)", header, rows)
-    save_results("BENCH_trace_overhead", overhead_rows)
+    save_results("trace_overhead", overhead_rows)
 
     for r in overhead_rows:
         # Loose CI-safe bounds; the JSON records the actual numbers.  The

@@ -34,8 +34,13 @@ def ctx_cache():
 
 
 def save_results(table: str, rows) -> None:
-    """Persist bench rows for the EXPERIMENTS.md generator."""
+    """Persist bench rows for the EXPERIMENTS.md generator.
+
+    Every result file is named ``BENCH_<table>.json`` (pass the bare table
+    key; a legacy ``BENCH_`` prefix in ``table`` is not doubled)."""
     RESULTS_DIR.mkdir(exist_ok=True)
+    if not table.startswith("BENCH_"):
+        table = f"BENCH_{table}"
     path = RESULTS_DIR / f"{table}.json"
     path.write_text(json.dumps({"scale": SCALE, "rows": rows}, indent=2))
 

@@ -3,7 +3,12 @@ sequential model, and Theorem 2 overlap checks."""
 
 from .mflops import achieved_mflops, operation_count
 from .loadbalance import load_balance_factor
-from .model import sequential_time_model, SequentialModel
+from .model import (
+    PlanTimeModel,
+    SequentialModel,
+    plan_time_model,
+    sequential_time_model,
+)
 from .memory import (
     MemoryFootprint,
     footprint_1d,
@@ -26,6 +31,8 @@ __all__ = [
     "load_balance_factor",
     "sequential_time_model",
     "SequentialModel",
+    "plan_time_model",
+    "PlanTimeModel",
     "MemoryFootprint",
     "footprint_1d",
     "footprint_2d",

@@ -1,4 +1,5 @@
-"""The paper's sequential performance model, Eqs. (1)-(4) of Section 6.1.
+"""The paper's sequential performance model, Eqs. (1)-(4) of Section 6.1,
+and its parallel generalization used by the autotuner.
 
 With BLAS-2 speed ``w2`` (seconds/flop), BLAS-3 speed ``w3``, dynamic flop
 count ``C`` (SuperLU), static flop count ``C~`` (S*), DGEMM fraction ``r``
@@ -10,13 +11,33 @@ and symbolic/numeric time ratio ``h``::
 
 The paper measures h < 0.82, r ~ 0.65 and mean C~/C ~ 3.98, yielding
 predicted ratios ~0.65 on T3D and ~0.80 on T3E (0.48 / 0.42 for dense).
+
+:func:`plan_time_model` extends the same flop-pricing idea to the parallel
+codes: the Eq. (2) compute term is divided across ``P`` processors (capped
+by Brent's bound through the task-graph critical path and derated by the
+layout's measured load-balance regime, Fig. 18), and a latency/bandwidth
+communication term is added from the predicted message traffic of the
+layout (Section 5's consumer multicast for 1D, row/column broadcasts plus
+pivot reductions for 2D; the synchronous 2D variant pays its per-stage
+round barriers, Table 7).  The result is a *cheap, pattern-only* time
+estimate — exact enough to rank configurations and prune the hopeless
+ones, with the simulator reserved for the survivors (``repro.tune``).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from ..machine import MachineSpec
+
+#: Load-balance derating per layout (Fig. 18): the 2D block-cyclic mapping
+#: balances update work better than the 1D column mapping on most matrices.
+LOAD_BALANCE = {"sequential": 1.0, "1d": 1.30, "2d": 1.10}
+
+#: Fraction of communication the asynchronous pipelined codes overlap with
+#: compute (Section 5.2); the synchronous variant exposes everything.
+ASYNC_COMM_HIDDEN = 0.5
 
 
 @dataclass
@@ -59,3 +80,62 @@ def sequential_time_model(
         r=dgemm_fraction,
         flop_ratio=sstar_flops / superlu_flops if superlu_flops else float("inf"),
     )
+
+
+@dataclass
+class PlanTimeModel:
+    """Predicted factorization time of one tuning configuration.
+
+    ``t_compute`` is the Eq. (2)-priced flop time divided across the
+    processors (load-balance derated, critical-path capped); ``t_comm`` is
+    the exposed latency + bandwidth time of the layout's predicted message
+    traffic; ``t_sync`` is the synchronous 2D variant's per-stage barrier
+    cost (zero for async and 1D).
+    """
+
+    t_compute: float
+    t_comm: float
+    t_sync: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.t_compute + self.t_comm + self.t_sync
+
+
+def plan_time_model(
+    spec: MachineSpec,
+    *,
+    total_seconds: float,
+    cp_seconds: float,
+    nprocs: int = 1,
+    layout: str = "sequential",
+    comm_messages: float = 0.0,
+    comm_bytes: float = 0.0,
+    synchronous: bool = False,
+    n_stages: int = 0,
+) -> PlanTimeModel:
+    """Predict the parallel factorization time of one configuration.
+
+    ``total_seconds`` and ``cp_seconds`` are the task graph's total work
+    and critical path priced by ``spec`` (granularity-derated, so the
+    block-size dependence of the BLAS-3 rates is already in them);
+    ``comm_messages`` / ``comm_bytes`` are the layout's predicted traffic
+    (see :mod:`repro.tune.space`).  All inputs are pattern-only — no
+    numeric factorization and no simulation happens here.
+    """
+    if nprocs <= 1 or layout == "sequential":
+        return PlanTimeModel(t_compute=total_seconds, t_comm=0.0)
+    balance = LOAD_BALANCE.get(layout, 1.0)
+    t_compute = max(total_seconds * balance / nprocs, cp_seconds)
+    # per-processor share of the wire time; async pipelining hides part of it
+    t_wire = (
+        comm_messages * spec.latency_s + comm_bytes / spec.bandwidth_bps
+    ) / nprocs
+    hidden = 0.0 if synchronous else ASYNC_COMM_HIDDEN
+    t_comm = t_wire * (1.0 - hidden)
+    t_sync = 0.0
+    if synchronous and n_stages:
+        # every elimination stage ends with a grid-wide rendezvous: a
+        # log-depth latency chain, the Table 7 sync-vs-async gap
+        t_sync = n_stages * spec.latency_s * max(1.0, math.log2(nprocs))
+    return PlanTimeModel(t_compute=t_compute, t_comm=t_comm, t_sync=t_sync)

@@ -71,6 +71,9 @@ class SStarSolver:
         ``{"sequential", "1d-rapid", "1d-ca", "2d", "2d-sync"}``;
         ``machine`` in ``{"T3D", "T3E", "GENERIC"}`` or a
         :class:`repro.machine.MachineSpec`.
+    grid:
+        Optional :class:`repro.parallel.Grid2D` fixing the 2D process-grid
+        shape (default: ``Grid2D.preferred``, the paper's ``p_c/p_r ~ 2``).
     pivot_threshold:
         Threshold-pivoting parameter ``u`` in (0, 1]; 1.0 (default) is pure
         partial pivoting, smaller values keep the diagonal when
@@ -115,6 +118,25 @@ class SStarSolver:
         block-column recompute sequentially, or by checkpoint-window
         replay on the resilient parallel paths.  Requires the ``"blocks"``
         backend.
+    tune:
+        Model-guided autotuning (:mod:`repro.tune`): ``factor`` /
+        ``refactor`` first resolve a :class:`repro.tune.TuningPlan` for
+        the matrix's *pattern* — from the attached ``plan_cache`` when the
+        pattern was tuned before, otherwise by running a
+        :class:`repro.tune.Tuner` search — and execute with the plan's
+        block size, layout, grid shape and pipelining instead of the
+        constructor's static ``block_size``/``method``/``grid`` (which
+        become the defaults the search is free to beat).  The applied
+        plan is exposed as ``solver.plan`` and the last search as
+        ``solver.tune_result`` (``None`` on a plan-cache hit); a tuned
+        run is bit-identical to passing the same plan's configuration
+        manually.
+    plan_cache, tune_budget, tune_seed, tune_opts:
+        The pattern-keyed :class:`repro.tune.PlanCache` shared across
+        solvers (one search per pattern/machine/P), the search's
+        virtual-time budget (``"auto"``, ``None`` or seconds), its
+        deterministic seed, and extra :class:`repro.tune.Tuner` keyword
+        arguments (e.g. ``metrics``, ``prune_ratio``, ``block_sizes``).
     trace:
         Observability: ``True`` creates a fresh :class:`repro.obs.Tracer`,
         or pass an existing tracer to share one timeline across solvers.
@@ -133,6 +155,7 @@ class SStarSolver:
         nprocs: int = 1,
         machine="T3E",
         method: str = "sequential",
+        grid=None,
         pivot_threshold: float = 1.0,
         backend: str = "blocks",
         perturb: bool = False,
@@ -145,11 +168,17 @@ class SStarSolver:
         growth_limit: float = 1e8,
         trace=None,
         abft: bool = False,
+        tune: bool = False,
+        plan_cache=None,
+        tune_budget="auto",
+        tune_seed: int = 0,
+        tune_opts: dict = None,
     ):
         self.block_size = block_size
         self.amalgamation = amalgamation
         self.nprocs = nprocs
         self.method = method
+        self.grid = grid
         self.pivot_threshold = pivot_threshold
         self.backend = backend
         self.perturb = perturb
@@ -171,6 +200,13 @@ class SStarSolver:
             raise ValueError("abft=True requires the 'blocks' backend")
         self.abft = abft
         self.tracer = as_tracer(trace)
+        self.tune = tune
+        self.plan_cache = plan_cache
+        self.tune_budget = tune_budget
+        self.tune_seed = tune_seed
+        self.tune_opts = dict(tune_opts or {})
+        self.plan = None  # TuningPlan applied by the last tuned factor
+        self.tune_result = None  # TuneResult of the last search (None = hit)
         self._lu: LUFactorization = None
         self._om = None
         self._A: CSRMatrix = None
@@ -239,11 +275,48 @@ class SStarSolver:
                           tracer=self.tracer)
         return art, om, cache_key, False
 
+    def _resolve_plan(self, A) -> None:
+        """Look up (or search for) the pattern's tuned plan and adopt its
+        configuration; one search per (pattern, machine, nprocs)."""
+        from ..service.cache import pattern_key
+        from ..tune import Tuner, plan_cache_key
+
+        key = plan_cache_key(pattern_key(A), self.spec.name, self.nprocs)
+        plan = self.plan_cache.get(key) if self.plan_cache is not None else None
+        self.tune_result = None
+        if plan is None:
+            tuner = Tuner(
+                spec=self.spec,
+                nprocs=self.nprocs,
+                budget=self.tune_budget,
+                seed=self.tune_seed,
+                **self.tune_opts,
+            )
+            self.tune_result = tuner.tune(A)
+            plan = self.tune_result.best
+            if self.plan_cache is not None:
+                self.plan_cache.put(key, plan)
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "pipeline/main", "tuned",
+                    t=self.tracer.track_end("pipeline/main"),
+                    args={"plan": plan.describe(),
+                          "probes": sum(len(r.probes)
+                                        for r in self.tune_result.records)},
+                )
+        self.plan = plan
+        self.block_size = plan.block_size
+        self.amalgamation = plan.amalgamation
+        self.method = plan.method
+        self.grid = plan.grid()
+
     def _factor_impl(self, A, reuse: bool) -> "SStarSolver":
         if isinstance(A, np.ndarray):
             A = dense_to_csr(A)
         if not isinstance(A, CSRMatrix):
             raise TypeError("A must be a CSRMatrix or dense ndarray")
+        if self.tune:
+            self._resolve_plan(A)
         art, om, cache_key, reused = self._analyze(A, reuse)
         sym, part, bstruct = art.sym, art.part, art.bstruct
 
@@ -335,6 +408,7 @@ class SStarSolver:
                 res = run_2d(
                     om.A, part, bstruct, self.nprocs, self.spec,
                     synchronous=self.method.endswith("sync"),
+                    grid=self.grid,
                     pivot_threshold=self.pivot_threshold,
                     sim_opts=sim_opts,
                     monitor=monitor,

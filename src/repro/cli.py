@@ -21,6 +21,9 @@ Commands
                solvers and the service, with oracle checks and optional
                failing-schedule shrinking to a JSON repro artifact
 ``bench-service`` cold factor vs cached refactor vs batched-RHS timings
+``tune``       model-guided autotuning: prune the block-size/grid/layout
+               space with the Eq. (4) model, rank survivors with budgeted
+               successive-halving simulator probes
 ``suite``      list the built-in suite matrices
 """
 
@@ -664,6 +667,66 @@ def cmd_bench_service(args) -> int:
     return 0
 
 
+def cmd_tune(args) -> int:
+    import json as _json
+
+    from .machine import GENERIC, T3D, T3E
+    from .matrices import SUITE, get_matrix
+    from .tune import Tuner, default_plan
+
+    specs = {"T3D": T3D, "T3E": T3E, "GENERIC": GENERIC}
+    if args.matrix in SUITE:
+        A = get_matrix(args.matrix, args.scale)
+    else:
+        A = _load(args.matrix)
+    budget = args.budget
+    if budget == "none":
+        budget = None
+    elif budget != "auto":
+        budget = float(budget)
+    tuner = Tuner(spec=specs[args.machine], nprocs=args.nprocs,
+                  budget=budget, seed=args.seed)
+    res = tuner.tune(A)
+
+    # price the static hand-configured default for the gain headline
+    base = default_plan(args.nprocs)
+    state = tuner.pattern_state(A)
+    base_seconds = tuner.simulate_plan(state, base)["seconds"]
+    gain = (base_seconds / res.best_seconds
+            if res.best_seconds else float("nan"))
+
+    if args.json:
+        out = res.as_dict()
+        out["default"] = {"plan": base.as_dict(),
+                          "seconds": base_seconds,
+                          "speedup": gain}
+        print(_json.dumps(out, indent=2, sort_keys=True))
+        return 0
+
+    by_status = {}
+    for r in res.records:
+        by_status[r.status] = by_status.get(r.status, 0) + 1
+    print(f"pattern {res.pattern[:16]}…  machine={res.machine} "
+          f"P={res.nprocs}  seed={res.seed}")
+    print(f"search budget  : "
+          f"{'unbounded' if res.budget is None else f'{res.budget:.6f} s'} "
+          f"(spent {res.budget_spent:.6f} s virtual)")
+    print("candidates     : " + ", ".join(
+        f"{n} {s}" for s, n in sorted(by_status.items())))
+    print(f"winner         : {res.best.describe()}  "
+          f"simulated {res.best_seconds:.6f} s")
+    print(f"static default : {base.describe()}  "
+          f"simulated {base_seconds:.6f} s")
+    print(f"tuned speedup  : {gain:.2f}x over the default configuration")
+    print("search trace (model-time order):")
+    for r in res.records:
+        probe = (f"probe {r.last_probe_seconds:.6f} s @rung {r.rung}"
+                 if r.probes else "never probed")
+        print(f"  {r.status:<14} {r.plan.describe():<24} "
+              f"model {r.model_seconds:.6f} s  {probe}")
+    return 0
+
+
 def cmd_chaos(args) -> int:
     import json as _json
 
@@ -958,6 +1021,30 @@ def build_parser() -> argparse.ArgumentParser:
     bs.add_argument("--nrhs", type=int, default=8)
     bs.add_argument("--seed", type=int, default=0)
     bs.set_defaults(func=cmd_bench_service)
+
+    tn = sub.add_parser(
+        "tune",
+        help="model-guided autotuning: search block size / grid / layout "
+             "for one matrix pattern",
+    )
+    tn.add_argument("matrix",
+                    help="MatrixMarket file or a built-in suite name "
+                         "(see `python -m repro suite`)")
+    tn.add_argument("--scale", default="small",
+                    choices=["small", "bench"],
+                    help="suite-matrix scale when `matrix` is a suite name")
+    tn.add_argument("--nprocs", type=int, default=8)
+    tn.add_argument("--machine", default="T3E",
+                    choices=["T3D", "T3E", "GENERIC"])
+    tn.add_argument("--budget", default="auto",
+                    help="virtual-second cap on simulator probes: a float, "
+                         "'auto' (~10 factorizations) or 'none'")
+    tn.add_argument("--seed", type=int, default=0,
+                    help="deterministic tie-break seed (same seed+budget "
+                         "=> bit-identical search)")
+    tn.add_argument("--json", action="store_true",
+                    help="emit the winning plan + full search trace as JSON")
+    tn.set_defaults(func=cmd_tune)
 
     ch = sub.add_parser(
         "chaos",

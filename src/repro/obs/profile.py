@@ -72,6 +72,19 @@ class TraceProfile:
         spans.sort(key=lambda s: (-s.duration, s.start, s.name))
         return spans[:k]
 
+    def attribution(self) -> dict:
+        """Aggregate ``{"busy", "comm", "idle"}`` fractions across all
+        ranks — the communication-boundedness signal the autotuner uses
+        to reject configurations early (:mod:`repro.tune`)."""
+        busy = sum(rb.busy for rb in self.ranks)
+        comm = sum(rb.comm for rb in self.ranks)
+        idle = sum(rb.idle for rb in self.ranks)
+        total = busy + comm + idle
+        if total <= 0.0:
+            return {"busy": 1.0, "comm": 0.0, "idle": 0.0}
+        return {"busy": busy / total, "comm": comm / total,
+                "idle": idle / total}
+
     def render(self, top: int = 5) -> str:
         lines = [f"total virtual time: {self.total_time:.6e} s"]
         lines.append(

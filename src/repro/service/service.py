@@ -142,6 +142,17 @@ class SolveService:
         ``method``, ``nprocs``, ``machine``, ``faults``, ``reliable``).
     cache:
         Shared :class:`AnalysisCache` (one is created if not given).
+    tune, plan_cache, tune_budget, tune_seed, tune_opts:
+        Autotuning (:mod:`repro.tune`): with ``tune=True`` every
+        factorization resolves a pattern-keyed :class:`TuningPlan` from
+        the shared ``plan_cache`` (one is created if not given), running
+        the model-guided search only on the *first* job of each new
+        pattern — repeated-pattern traffic is served with zero additional
+        tuning probes (the ``tune.probes`` counter and the plan cache's
+        hit statistics make that assertable).  ``tune_budget`` /
+        ``tune_seed`` / ``tune_opts`` are forwarded to the solver's
+        tuner; the service's metrics registry is always injected so all
+        ``tune.*`` counters land in :meth:`metrics`' registry.
     tracer:
         Observability: ``True`` or a :class:`repro.obs.Tracer` records the
         job lifecycle as spans — ``queued`` on ``svc/job<N>`` from arrival
@@ -163,6 +174,11 @@ class SolveService:
         inter_arrival: float = 0.0,
         solver_opts: dict = None,
         cache: AnalysisCache = None,
+        tune: bool = False,
+        plan_cache=None,
+        tune_budget="auto",
+        tune_seed: int = 0,
+        tune_opts: dict = None,
         tracer=None,
         metrics: MetricsRegistry = None,
     ):
@@ -186,6 +202,18 @@ class SolveService:
             self.metrics_registry = MetricsRegistry()
         if self.cache.metrics is None:
             self.cache.metrics = self.metrics_registry
+        self.tune = tune
+        self.tune_budget = tune_budget
+        self.tune_seed = tune_seed
+        self.tune_opts = dict(tune_opts or {})
+        if tune:
+            from ..tune import PlanCache
+
+            self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
+            if self.plan_cache.metrics is None:
+                self.plan_cache.metrics = self.metrics_registry
+        else:
+            self.plan_cache = plan_cache
         self._queue: deque = deque()
         self._jobs: dict = {}
         self._worker_clock = [0.0] * workers
@@ -297,6 +325,17 @@ class SolveService:
         if strip_faults:
             opts = dict(opts)
             opts.pop("faults", None)
+        if self.tune:
+            opts = dict(opts)
+            opts.setdefault("tune", True)
+            opts.setdefault("plan_cache", self.plan_cache)
+            opts.setdefault("tune_budget", self.tune_budget)
+            opts.setdefault("tune_seed", self.tune_seed)
+            tune_opts = dict(self.tune_opts)
+            # every tune.* counter (searches, probes, pruned) lands in the
+            # service's registry so metrics() sees the whole story
+            tune_opts.setdefault("metrics", self.metrics_registry)
+            opts.setdefault("tune_opts", tune_opts)
         solver = SStarSolver(analysis_cache=self.cache, **opts)
         return solver.refactor(A)
 
@@ -315,7 +354,14 @@ class SolveService:
         solve_flops = 4.0 * rep.factor_entries * nrhs
         solve_kernel = "dgemm" if nrhs >= 2 else "dgemv"
         solve_s = solve_flops / spec.kernel_rate(solve_kernel)
-        return analyze_s + factor_s + solve_s
+        # a tuning search that actually ran charges its probe time to the
+        # job that triggered it; plan-cache hits charge nothing
+        tune_s = (
+            solver.tune_result.budget_spent
+            if getattr(solver, "tune_result", None) is not None
+            else 0.0
+        )
+        return analyze_s + factor_s + solve_s + tune_s
 
     def step(self) -> list:
         """Serve one batch on the earliest-free worker lane; returns the

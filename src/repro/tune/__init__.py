@@ -1,0 +1,51 @@
+"""repro.tune — model-guided autotuning of the factorization pipeline.
+
+The paper picks block size, grid shape, 1D-vs-2D layout and sync-vs-async
+pipelining by hand (Section 6, Tables 3–7); this package picks them per
+matrix *pattern*: the Eq. (4)-style analytic model prunes the declared
+search space (:mod:`repro.tune.space`), budgeted successive-halving
+simulator probes rank the survivors, and the winning
+:class:`TuningPlan` is cached pattern-keyed in a :class:`PlanCache` so
+``SStarSolver(tune=True)`` and a tuning :class:`repro.service.SolveService`
+pay for the search exactly once per structure.
+"""
+
+from .plan import (
+    PlanCache,
+    PlanCacheStats,
+    TuningPlan,
+    plan_cache_key,
+)
+from .space import (
+    AMALGAMATIONS,
+    BLOCK_SIZES,
+    comm_estimate_1d,
+    comm_estimate_2d,
+    enumerate_plans,
+    grid_shapes,
+)
+from .tuner import (
+    DEFAULT_RUNGS,
+    ProbeRecord,
+    Tuner,
+    TuneResult,
+    default_plan,
+)
+
+__all__ = [
+    "PlanCache",
+    "PlanCacheStats",
+    "TuningPlan",
+    "plan_cache_key",
+    "AMALGAMATIONS",
+    "BLOCK_SIZES",
+    "comm_estimate_1d",
+    "comm_estimate_2d",
+    "enumerate_plans",
+    "grid_shapes",
+    "DEFAULT_RUNGS",
+    "ProbeRecord",
+    "Tuner",
+    "TuneResult",
+    "default_plan",
+]

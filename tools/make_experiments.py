@@ -1,4 +1,4 @@
-"""Regenerate EXPERIMENTS.md from benchmarks/results/*.json.
+"""Regenerate EXPERIMENTS.md from benchmarks/results/BENCH_*.json.
 
 Usage:  python tools/make_experiments.py
         (after `pytest benchmarks/ -s --benchmark-disable` has populated
@@ -108,6 +108,12 @@ PAPER_NOTES = {
         "Paper (Section 2): the triangular solvers are much less time "
         "consuming than the elimination; they are latency-bound.",
     ),
+    "tune_gain": (
+        "Autotuning — model-guided search vs the static default",
+        "The paper picks block size 25 and the p_c/p_r ~ 2 grid by hand "
+        "(Section 6); repro.tune searches the declared space per pattern "
+        "and must match or beat that hand configuration.",
+    ),
 }
 
 ORDER = [
@@ -115,7 +121,7 @@ ORDER = [
     "table5", "table6", "fig17", "fig18", "table7", "eq4",
     "ablation_ordering", "ablation_grid", "ablation_blocksize",
     "ablation_network", "memory_scalability", "storage_backends",
-    "trisolve",
+    "trisolve", "tune_gain",
 ]
 
 
@@ -144,7 +150,7 @@ def main() -> None:
     parts = [
         "# EXPERIMENTS — paper vs measured\n",
         "Generated by `tools/make_experiments.py` from "
-        "`benchmarks/results/*.json` (run `pytest benchmarks/ -s "
+        "`benchmarks/results/BENCH_*.json` (run `pytest benchmarks/ -s "
         "--benchmark-disable` first).\n",
         "Absolute numbers are *modeled* on the calibrated T3D/T3E simulator "
         "over reduced-scale synthetic analogues; the reproduction targets "
@@ -153,7 +159,7 @@ def main() -> None:
     ]
     for key in ORDER:
         title, note = PAPER_NOTES[key]
-        path = RESULTS / f"{key}.json"
+        path = RESULTS / f"BENCH_{key}.json"
         parts.append(f"\n## {title}\n")
         parts.append(f"**Paper reference.** {note}\n")
         if not path.exists():
