@@ -41,8 +41,20 @@ from .core import (
 )
 from . import determinism  # noqa: F401  (registers D1xx rules)
 from . import aliasing  # noqa: F401  (registers Z2xx rules)
+from .certify import (
+    ZeroCopyCertificate,
+    build_certificate,
+    certificate_covers,
+    default_certificate,
+    default_certificate_path,
+)
 
 __all__ = [
+    "ZeroCopyCertificate",
+    "build_certificate",
+    "certificate_covers",
+    "default_certificate",
+    "default_certificate_path",
     "Finding",
     "Severity",
     "RULES",

@@ -14,7 +14,10 @@ Semantics (matching the shmem/RMA style the paper's codes rely on):
   ``sender_clock + latency + bytes/bandwidth``;
 * ``recv(tag)`` blocks until a matching message exists and resumes at
   ``max(local_clock, arrival)``; payloads are deep-copied at send time so
-  ranks never alias each other's memory;
+  ranks never alias each other's memory — unless ``zero_copy`` delivery is
+  active, in which case the lint certificate (``repro lint --certify``)
+  proves the program never writes a posted buffer and the copy is skipped
+  (true RMA put semantics, as on the paper's T3D);
 * tags must uniquely identify a logical transfer (step/stage/source); the
   parallel codes in :mod:`repro.parallel` follow this discipline;
 * ``barrier`` synchronises all ranks at ``max(clocks) + barrier cost``.
@@ -208,6 +211,10 @@ class SimTrace:
         return out
 
 
+# rank scheduling states (module-level so _deposit can test for _RECV)
+_READY, _RECV, _BARRIER, _DONE, _CRASHED = 0, 1, 2, 3, 4
+
+
 class _RecvRequest:
     __slots__ = ("tag", "deadline")
 
@@ -399,6 +406,48 @@ class Env:
     def snapshot(self) -> dict:
         return dict(self.counter.by_gran)
 
+    def begin_counted(self):
+        """Open a counted-compute window: kernels account into the rank
+        counter as usual, and :meth:`end_counted` prices exactly the keys
+        touched since — O(touched) instead of the full-tally scan of
+        ``snapshot``/``compute_counted``, with bit-identical clock math
+        (deltas are replayed in ``by_gran`` insertion order)."""
+        c = self.counter
+        outer = c._touched
+        t = c._touched = {}
+        return (outer, t)
+
+    def end_counted(self, window) -> None:
+        """Close a :meth:`begin_counted` window and charge its deltas."""
+        outer, touched = window
+        c = self.counter
+        c._touched = outer
+        if touched:
+            g = c.by_gran
+            keys = (
+                sorted(touched, key=c._korder.get)
+                if len(touched) > 1 else touched
+            )
+            compute_seconds = self._sim.spec.compute_seconds
+            tr = self._sim.tracer
+            for key in keys:
+                prev = touched[key]
+                v = g[key]
+                if v > prev:
+                    kernel, gran = key
+                    dt = compute_seconds(kernel, v - prev, gran)
+                    t0 = self.clock
+                    self.clock += dt
+                    self.busy += dt
+                    if tr is not None:
+                        tr.span(self.rank, kernel, _obs.COMPUTE, t0,
+                                self.clock, {"nflops": float(v - prev)})
+            if outer is not None:
+                # surface first-touch values to the enclosing window
+                for key, prev in touched.items():
+                    if key not in outer:
+                        outer[key] = prev
+
     # -- communication -----------------------------------------------------
 
     def send(self, dest: int, tag, payload, nbytes: int = None) -> None:
@@ -411,6 +460,23 @@ class Env:
         :class:`DeliveryError` is raised.
         """
         sim = self._sim
+        if sim._fast_send and dest != self.rank:
+            # hot path: no faults, no reliable transport, no tracer, no
+            # sanitize guard — same arithmetic as the general path below
+            spec = sim.spec
+            t_send = self.clock
+            self.clock = t_send + spec.latency_s
+            if nbytes is None:
+                nbytes = _payload_nbytes(payload)
+            arrival = self.clock + nbytes / spec.bandwidth_bps
+            self.sent_messages += 1
+            self.sent_bytes += nbytes
+            sim._deposit(
+                dest, tag, arrival, self.rank,
+                payload if sim.zero_copy else _copy_payload(payload),
+                nbytes=nbytes, send_clock=t_send,
+            )
+            return
         tr = sim.tracer
         guard = (
             _SanitizeGuard(payload, self.rank, dest, tag, self.clock)
@@ -419,7 +485,8 @@ class Env:
         if dest == self.rank:
             # local deposit: no network cost, no faults
             sim._deposit(
-                dest, tag, self.clock, self.rank, _copy_payload(payload),
+                dest, tag, self.clock, self.rank,
+                payload if sim.zero_copy else _copy_payload(payload),
                 nbytes=0, send_clock=self.clock, guard=guard,
             )
             return
@@ -449,7 +516,13 @@ class Env:
                 else None
             )
             action = rule.action if rule is not None else None
-            pay = _copy_payload(payload)
+            # zero-copy delivery shares the (certified-frozen) payload; a
+            # corruption fault still works on a private copy so the bit
+            # flip never reaches the sender's memory
+            if sim.zero_copy and action != CORRUPT:
+                pay = payload
+            else:
+                pay = _copy_payload(payload)
             corrupted = False
             if action == CORRUPT:
                 corrupted = _corrupt_payload(pay)
@@ -497,7 +570,8 @@ class Env:
                         tr.metrics.counter("sim.faults.duplicated").inc()
                     dup_arrival = arrival + spec.latency_s
                     sim._deposit(
-                        dest, tag, dup_arrival, self.rank, _copy_payload(pay),
+                        dest, tag, dup_arrival, self.rank,
+                        pay if sim.zero_copy else _copy_payload(pay),
                         nbytes=nbytes, send_clock=t_send,
                         logical=logical, attempt=attempt, duplicate=True,
                         guard=guard,
@@ -553,6 +627,9 @@ class Env:
 
     def multicast(self, dests, tag, payload, nbytes: int = None) -> None:
         """Sequential puts to each destination (shmem-style multicast)."""
+        if nbytes is None:
+            # size the payload once, not once per destination
+            nbytes = _payload_nbytes(payload)
         for d in dests:
             if d != self.rank:
                 self.send(d, tag, payload, nbytes=nbytes)
@@ -632,6 +709,8 @@ class Simulator:
         heartbeat_s: float = None,
         sanitize: bool = False,
         tracer=None,
+        zero_copy=False,
+        scheduler: str = "event",
     ):
         """``program(env, *args)`` must return a generator (it may also be a
         plain function for compute-only ranks).
@@ -662,10 +741,35 @@ class Simulator:
         matched send→recv messages into it.  When ``None`` (the default)
         every instrumentation site is skipped — tracing has zero cost
         when disabled.
+
+        ``zero_copy`` skips the defensive deep copy at send time — true
+        one-sided-put semantics.  That is only sound when the program never
+        writes a posted buffer (Z201) and never mutates a received payload
+        it retained (Z202), which is exactly what the aliasing lint proves;
+        so ``zero_copy=True`` consults the packaged certificate emitted by
+        ``repro lint --certify`` and only engages when ``program``'s module
+        is certified clean (and its source unchanged since certification).
+        Pass a path / :class:`repro.lint.certify.ZeroCopyCertificate` to use
+        a different certificate, or the string ``"unchecked"`` to trust the
+        caller (tests/benchmarks only).  ``sanitize=True`` always restores
+        copying so the dynamic write-after-send checker keeps its
+        pre-mutation reference bytes — CI cross-checks zero-copy runs
+        bit-for-bit this way.
+
+        ``scheduler`` selects the host event loop: ``"event"`` (default)
+        wakes a blocked rank only when a message lands in the mailbox it
+        awaits, ``"poll"`` is the legacy round-robin scan.  Both produce
+        identical virtual times, span traces and results (the wake set is
+        drained in host order, which reproduces the poll loop's service
+        order exactly); ``"poll"`` is kept for A/B timing and the
+        equivalence tests.
         """
         self.nprocs = nprocs
         self.spec = spec
         self.sanitize = bool(sanitize)
+        if scheduler not in ("event", "poll"):
+            raise ValueError(f"scheduler must be 'event' or 'poll', got {scheduler!r}")
+        self.scheduler = scheduler
         self.tracer = tracer
         if tracer is not None:
             # pre-resolved hot-path counters (one inc per send attempt)
@@ -695,6 +799,30 @@ class Simulator:
             self._order = [int(r) for r in host_order]
             if sorted(self._order) != list(range(nprocs)):
                 raise ValueError("host_order must be a permutation of ranks")
+        # zero-copy delivery: requested at construction, certified against
+        # the lint certificate, but only *effective* per run() — sanitize
+        # mode (which the test harness may switch on after construction)
+        # always restores copying so the mutation checker keeps honest
+        # pre-mutation reference bytes.
+        self._zc_requested = bool(zero_copy)
+        self._zc_certified = False
+        if zero_copy:
+            if zero_copy == "unchecked":
+                self._zc_certified = True
+            else:
+                from ..lint.certify import certificate_covers
+
+                self._zc_certified = certificate_covers(
+                    getattr(program, "__module__", None),
+                    cert=None if zero_copy is True else zero_copy,
+                )
+        self.zero_copy = False  # effective flag, finalised at run()
+        self._fast_send = False  # finalised at run()
+        # event-scheduler wake set + run-state views (populated by run();
+        # _deposit consults them to wake a rank blocked on the landed tag)
+        self._wake = None
+        self._state = None
+        self._waiting_tag = None
         self.envs = [Env(self, r) for r in range(nprocs)]
         self._programs = [program(self.envs[r], *args) for r in range(nprocs)]
 
@@ -713,11 +841,25 @@ class Simulator:
                 attempt=attempt, duplicate=duplicate, corrupted=corrupted,
             )
             self.trace.records.append(record)
-        heapq.heappush(
-            self._mailboxes.setdefault((dest, tag), []),
-            (arrival, self._seq, payload, src, record, guard,
-             send_clock, nbytes),
-        )
+        key = (dest, tag)
+        entry = (arrival, self._seq, payload, src, record, guard,
+                 send_clock, nbytes)
+        box = self._mailboxes.get(key)
+        if box is None:
+            # the unique-tag discipline makes one-message boxes the
+            # overwhelmingly common case: arrival order is trivially
+            # maintained without touching the heap machinery
+            self._mailboxes[key] = [entry]
+        else:
+            heapq.heappush(box, entry)
+        if (
+            self._wake is not None
+            and self._state[dest] == _RECV
+            and self._waiting_tag[dest] == tag
+        ):
+            # event scheduler: the landed message is exactly what the
+            # destination's recv awaits — wake it
+            self._wake.add(dest)
         return record
 
     def _record_dropped(self, dest, tag, arrival, src, nbytes=0, send_clock=0.0,
@@ -741,10 +883,13 @@ class Simulator:
     def _try_fetch(self, dest, tag):
         box = self._mailboxes.get((dest, tag))
         if box:
-            (arrival, _, payload, src, record, guard,
-             send_clock, nbytes) = heapq.heappop(box)
-            if not box:
+            if len(box) == 1:
+                (arrival, _, payload, src, record, guard,
+                 send_clock, nbytes) = box[0]
                 del self._mailboxes[(dest, tag)]
+            else:
+                (arrival, _, payload, src, record, guard,
+                 send_clock, nbytes) = heapq.heappop(box)
             return arrival, payload, record, guard, src, send_clock, nbytes
         return None
 
@@ -855,14 +1000,33 @@ class Simulator:
     # -- main loop ---------------------------------------------------------
 
     def run(self) -> SimResult:
-        READY, RECV, BARRIER, DONE, CRASHED = 0, 1, 2, 3, 4
-        state = [READY] * self.nprocs
-        waiting_tag = [None] * self.nprocs
+        READY, RECV, BARRIER, DONE, CRASHED = (
+            _READY, _RECV, _BARRIER, _DONE, _CRASHED)
+        state = self._state = [READY] * self.nprocs
+        waiting_tag = self._waiting_tag = [None] * self.nprocs
         waiting_deadline = [None] * self.nprocs
         blocked_at = [0.0] * self.nprocs  # clock when a rank last blocked
         returns = [None] * self.nprocs
         crash_time = dict(self._crash_time)
         tr = self.tracer
+        # finalise the delivery mode here, not at construction: the test
+        # harness switches sanitize on after constructing the simulator,
+        # and sanitize must always restore copying (the mutation checker
+        # needs the receiver to hold pre-mutation bytes)
+        self.zero_copy = bool(
+            self._zc_requested and self._zc_certified and not self.sanitize
+        )
+        self._fast_send = (
+            self.faults is None
+            and self.reliable is None
+            and self.tracer is None
+            and not self.sanitize
+        )
+        event_mode = self.scheduler == "event"
+        wake = self._wake = set() if event_mode else None
+        order = self._order
+        nord = len(order)
+        oidx = {r: i for i, r in enumerate(order)}
 
         def crash(r, at=None):
             """Kill rank r at its next yield/task boundary."""
@@ -885,6 +1049,8 @@ class Simulator:
             state[r] = CRASHED
             waiting_tag[r] = None
             waiting_deadline[r] = None
+            if wake is not None:
+                wake.discard(r)
             crash_time.pop(r, None)
             self.fault_stats.crashes.append((r, env.clock))
             gen = self._programs[r]
@@ -903,15 +1069,20 @@ class Simulator:
                 return True
             return False
 
+        # generator send methods, resolved once (plain functions have none)
+        gen_sends = [getattr(g, "send", None) for g in self._programs]
+        mailboxes = self._mailboxes
+        envs = self.envs
+
         def resume(r, value=None):
             """Advance rank r's generator until it blocks or finishes."""
-            gen = self._programs[r]
+            snd = gen_sends[r]
             try:
-                if not hasattr(gen, "send"):
+                if snd is None:
                     # plain function already ran at construction
                     state[r] = DONE
                     return
-                req = gen.send(value)
+                req = snd(value)
             except StopIteration as stop:
                 state[r] = DONE
                 returns[r] = stop.value
@@ -920,66 +1091,117 @@ class Simulator:
                 state[r] = RECV
                 waiting_tag[r] = req.tag
                 waiting_deadline[r] = req.deadline
-                blocked_at[r] = self.envs[r].clock
+                blocked_at[r] = envs[r].clock
+                if wake is not None and (r, req.tag) in mailboxes:
+                    # the awaited message already landed: wake immediately
+                    wake.add(r)
             elif isinstance(req, _BarrierRequest):
                 state[r] = BARRIER
-                blocked_at[r] = self.envs[r].clock
+                blocked_at[r] = envs[r].clock
             else:
                 raise TypeError(
                     f"rank {r} yielded {req!r}; yield env.recv(...) or env.barrier()"
                 )
-            maybe_crash(r)
+            if crash_time:
+                maybe_crash(r)
+
+        def service_recv(r) -> bool:
+            """Try to satisfy rank r's pending recv.  Returns True when the
+            rank made progress (consumed a message, or crashed trying)."""
+            tag = waiting_tag[r]
+            key = (r, tag)
+            box = mailboxes.get(key)
+            if not box:
+                return False
+            env = envs[r]
+            arrival = box[0][0]
+            if (
+                waiting_deadline[r] is not None
+                and arrival > waiting_deadline[r]
+            ):
+                # cannot be satisfied in time; the timeout fires at
+                # the quiescent point below (another sender may yet
+                # deposit an earlier message)
+                return False
+            if crash_time:
+                ct = crash_time.get(r)
+                if ct is not None and max(env.clock, arrival) >= ct:
+                    # the rank dies before it could process the message;
+                    # leave it undelivered
+                    crash(r, at=ct)
+                    return True
+            # fetch inline (single-entry boxes dominate; see _try_fetch)
+            if len(box) == 1:
+                (arrival, _, payload, src, record, guard,
+                 send_clock, nbytes) = box[0]
+                del mailboxes[key]
+            else:
+                (arrival, _, payload, src, record, guard,
+                 send_clock, nbytes) = heapq.heappop(box)
+            if guard is not None:
+                self._check_guard(guard, record)
+            if arrival > env.clock:
+                env.clock = arrival
+            if record is not None:
+                record.consumed = True
+                record.recv_time = env.clock
+            if tr is not None:
+                if env.clock > blocked_at[r]:
+                    tr.span(
+                        r, f"recv {_obs.tag_label(tag)}",
+                        _obs.RECV_WAIT, blocked_at[r], env.clock,
+                        {"src": int(src)},
+                    )
+                tr.message(src, r, tag, send_clock, env.clock,
+                           nbytes, arrival)
+            state[r] = READY
+            waiting_tag[r] = None
+            waiting_deadline[r] = None
+            resume(r, payload)
+            return True
 
         for r in self._order:
             resume(r)
 
         while True:
             progressed = False
-            # satisfy receivers
-            for r in self._order:
-                if state[r] == RECV:
-                    box = self._mailboxes.get((r, waiting_tag[r]))
-                    if not box:
-                        continue
-                    env = self.envs[r]
-                    arrival = box[0][0]
-                    if (
-                        waiting_deadline[r] is not None
-                        and arrival > waiting_deadline[r]
-                    ):
-                        # cannot be satisfied in time; the timeout fires at
-                        # the quiescent point below (another sender may yet
-                        # deposit an earlier message)
-                        continue
-                    ct = crash_time.get(r)
-                    if ct is not None and max(env.clock, arrival) >= ct:
-                        # the rank dies before it could process the message;
-                        # leave it undelivered
-                        crash(r, at=ct)
+            # satisfy receivers.  The event scheduler visits only woken
+            # ranks (a deposit matching a blocked recv, or a recv posted
+            # against a non-empty mailbox) but drains them in host order,
+            # so it services the exact sequence the poll scan would —
+            # virtual times and span traces are byte-identical.  While a
+            # rank is blocked every input of the checks below is frozen
+            # (its clock, the box head, deadline, crash time), so poll
+            # re-scans between deposits are provably no-ops.
+            if event_mode:
+                if len(wake) == 1:
+                    # overwhelmingly common: a single woken rank.  The host
+                    # order scan would visit exactly it, then keep scanning —
+                    # servicing may wake later-order ranks the same pass
+                    # must also drain (earlier-order wakes carry over to the
+                    # next pass, exactly as in the full scan).
+                    r = wake.pop()
+                    if state[r] == RECV and service_recv(r):
                         progressed = True
-                        continue
-                    tag = waiting_tag[r]
-                    (arrival, payload, record, guard,
-                     src, send_clock, nbytes) = self._try_fetch(r, tag)
-                    self._check_guard(guard, record)
-                    env.clock = max(env.clock, arrival)
-                    if record is not None:
-                        record.consumed = True
-                        record.recv_time = env.clock
-                    if tr is not None:
-                        if env.clock > blocked_at[r]:
-                            tr.span(
-                                r, f"recv {_obs.tag_label(tag)}",
-                                _obs.RECV_WAIT, blocked_at[r], env.clock,
-                                {"src": int(src)},
-                            )
-                        tr.message(src, r, tag, send_clock, env.clock,
-                                   nbytes, arrival)
-                    state[r] = READY
-                    waiting_tag[r] = None
-                    waiting_deadline[r] = None
-                    resume(r, payload)
-                    progressed = True
+                    if wake:
+                        for i in range(oidx[r] + 1, nord):
+                            rr = order[i]
+                            if rr not in wake:
+                                continue
+                            wake.discard(rr)
+                            if state[rr] == RECV and service_recv(rr):
+                                progressed = True
+                elif wake:
+                    for r in order:
+                        if r not in wake:
+                            continue
+                        wake.discard(r)
+                        if state[r] == RECV and service_recv(r):
+                            progressed = True
+            else:
+                for r in self._order:
+                    if state[r] == RECV and service_recv(r):
+                        progressed = True
             if progressed:
                 continue
             # barrier: everyone live must be at the barrier

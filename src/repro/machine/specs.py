@@ -46,6 +46,12 @@ class MachineSpec:
     bandwidth_bps: float  # bytes per second
     barrier_factor: float = 2.0  # barrier cost = factor * latency * log2(p)
 
+    def __post_init__(self):
+        # (kernel, gran) -> flops/s memo; the efficiency curve is pure, so
+        # each pair is priced once per spec instance (the simulator prices
+        # every compute span through here — it is a host hot path)
+        object.__setattr__(self, "_rate_cache", {})
+
     def efficiency(self, kernel: str, gran) -> float:
         """Granularity efficiency relative to the reference block size."""
         if gran is None:
@@ -59,12 +65,18 @@ class MachineSpec:
     def kernel_rate(self, kernel: str, gran=None) -> float:
         """Flops/second for a kernel class at block granularity ``gran``
         (None = the nominal, block-25 rate)."""
+        try:
+            return self._rate_cache[(kernel, gran)]
+        except KeyError:
+            pass
         rates = {
             "dgemm": self.dgemm_mflops,
             "dgemv": self.dgemv_mflops,
             "blas1": self.blas1_mflops,
         }
-        return rates[kernel] * 1e6 * self.efficiency(kernel, gran)
+        rate = rates[kernel] * 1e6 * self.efficiency(kernel, gran)
+        self._rate_cache[(kernel, gran)] = rate
+        return rate
 
     def kernel_seconds(self, flops_by_kernel: dict) -> float:
         """Seconds to execute a tally keyed either by kernel name or by

@@ -15,6 +15,8 @@ from .tasks import (
     apply_pivots_to_column,
     factored_column_of,
     FactoredColumn,
+    batched_updates,
+    batched_updates_enabled,
 )
 from .sequential import sstar_factor, sstar_refactor, LUFactorization
 from .serialize import save_factorization, load_factorization
@@ -47,6 +49,8 @@ __all__ = [
     "apply_pivots_to_column",
     "factored_column_of",
     "FactoredColumn",
+    "batched_updates",
+    "batched_updates_enabled",
     "sstar_factor",
     "sstar_refactor",
     "LUFactorization",

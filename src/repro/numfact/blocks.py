@@ -65,19 +65,37 @@ class BlockLUMatrix:
             m.blocks[(I, J)] = np.zeros((part.size(I), part.size(J)))
         block_of = part.block_of
         bounds = part.bounds
-        for i in range(A.nrows):
-            cols, vals = A.row(i)
-            I = int(block_of[i])
-            li = i - bounds[I]
-            for c, v in zip(cols, vals):
-                J = int(block_of[c])
-                blk = m.blocks.get((I, int(J)))
-                if blk is None:
-                    raise StructureViolation(
-                        f"matrix entry ({i},{c}) falls outside the static "
-                        f"block structure at block ({I},{J})"
-                    )
-                blk[li, c - bounds[J]] = v
+        # vectorised scatter: map every entry to its block and local offset,
+        # then assign one fancy-indexed run per nonzero block
+        nnz = len(A.indices)
+        if nnz == 0:
+            return m
+        rows = np.repeat(np.arange(A.nrows, dtype=np.int64),
+                         np.diff(A.indptr))
+        cols = A.indices
+        BI = block_of[rows]
+        BJ = block_of[cols]
+        li = rows - bounds[BI]
+        lj = cols - bounds[BJ]
+        N = part.N
+        key = BI * N + BJ
+        order = np.argsort(key, kind="stable")
+        key = key[order]
+        run_starts = np.flatnonzero(np.r_[True, key[1:] != key[:-1]])
+        run_ends = np.r_[run_starts[1:], nnz]
+        for s, e in zip(run_starts.tolist(), run_ends.tolist()):
+            idx = order[s:e]
+            I = int(BI[idx[0]])
+            J = int(BJ[idx[0]])
+            blk = m.blocks.get((I, J))
+            if blk is None:
+                i = int(rows[idx[0]])
+                c = int(cols[idx[0]])
+                raise StructureViolation(
+                    f"matrix entry ({i},{c}) falls outside the static "
+                    f"block structure at block ({I},{J})"
+                )
+            blk[li[idx], lj[idx]] = A.data[idx]
         return m
 
     # -- queries -----------------------------------------------------------

@@ -31,12 +31,30 @@ class KernelCounter:
 
     flops: dict = field(default_factory=dict)
     by_gran: dict = field(default_factory=dict)
+    # open accounting window (``Env.begin_counted``): first-touch snapshot
+    # values of the ``by_gran`` keys mutated since the window opened, so the
+    # time model can price exactly the delta without scanning the whole
+    # tally.  ``_korder`` records each key's global insertion index so the
+    # window replays deltas in ``by_gran`` order (bit-identical clock math
+    # to the full-scan ``compute_counted``).
+    _touched: dict = field(default=None, init=False, repr=False, compare=False)
+    _korder: dict = field(default_factory=dict, init=False, repr=False,
+                          compare=False)
 
     def add(self, kernel: str, nflops: float, gran=None) -> None:
         nflops = float(nflops)
-        self.flops[kernel] = self.flops.get(kernel, 0.0) + nflops
+        f = self.flops
+        f[kernel] = f.get(kernel, 0.0) + nflops
         key = (kernel, gran)
-        self.by_gran[key] = self.by_gran.get(key, 0.0) + nflops
+        g = self.by_gran
+        prev = g.get(key)
+        if prev is None:
+            self._korder[key] = len(self._korder)
+            prev = 0.0
+        t = self._touched
+        if t is not None and key not in t:
+            t[key] = prev
+        g[key] = prev + nflops
 
     @property
     def total(self) -> float:
@@ -52,12 +70,15 @@ class KernelCounter:
         for k, v in other.flops.items():
             self.flops[k] = self.flops.get(k, 0.0) + v
         for k, v in other.by_gran.items():
+            if k not in self.by_gran:
+                self._korder[k] = len(self._korder)
             self.by_gran[k] = self.by_gran.get(k, 0.0) + v
 
     def copy(self) -> "KernelCounter":
         c = KernelCounter()
         c.flops = dict(self.flops)
         c.by_gran = dict(self.by_gran)
+        c._korder = dict(self._korder)
         return c
 
     def modeled_seconds(self, spec) -> float:

@@ -13,6 +13,28 @@ import numpy as np
 from .counter import KernelCounter, DGEMM, DGEMV, BLAS1
 
 
+#: process-wide scratch buffers, keyed by use site.  The simulator runs
+#: every rank cooperatively on one host thread, and each use site fully
+#: writes its scratch before reading it inside a single yield-free window,
+#: so reusing (even clobbering) a slot across calls and ranks is safe.
+#: Growing in place (never shrinking) keeps the hot paths free of large
+#: per-call ``np.empty`` allocations, whose mmap + first-touch page faults
+#: dominate at bench scale.
+_SCRATCH_POOL: dict = {}
+
+
+def scratch_buffer(slot: str, nrows: int, ncols: int = None) -> np.ndarray:
+    """An uninitialised float64 scratch of the requested shape, recycled
+    per ``slot`` (see :data:`_SCRATCH_POOL` for the safety argument)."""
+    need = nrows if ncols is None else nrows * ncols
+    buf = _SCRATCH_POOL.get(slot)
+    if buf is None or buf.size < need:
+        size = need if buf is None else max(need, 2 * buf.size)
+        buf = _SCRATCH_POOL[slot] = np.empty(size)
+    flat = buf[:need]
+    return flat if ncols is None else flat.reshape(nrows, ncols)
+
+
 def FLOP_GEMM(m: int, k: int, n: int) -> float:
     """Flops of an ``m x k`` times ``k x n`` multiply-accumulate."""
     return 2.0 * m * k * n
@@ -23,6 +45,18 @@ def FLOP_TRSM(k: int, n: int) -> float:
     return float(k) * k * n
 
 
+def as_gemm_operand(X):
+    """A C-contiguous view of a GEMM operand — the identity on the packed
+    path (dense blocks are allocated contiguous), an explicit
+    ``ascontiguousarray`` otherwise.
+
+    BLAS silently copies a strided operand into a hidden temporary on every
+    call; making the copy explicit here means the hot paths can assert it
+    never happens (``as_gemm_operand(b) is b`` for packed blocks).
+    """
+    return X if X.flags.c_contiguous else np.ascontiguousarray(X)
+
+
 def gemm_update(
     C,
     A,
@@ -30,6 +64,7 @@ def gemm_update(
     counter: KernelCounter = None,
     ncols_structural=None,
     nrows_structural=None,
+    out=None,
 ):
     """``C -= A @ B`` with DGEMM/DGEMV accounting.
 
@@ -39,8 +74,22 @@ def gemm_update(
     so the *accounted* flops match what that implementation executes, even
     though our numerics safely run on the padded full blocks (structurally
     zero positions are exact zeros — see DESIGN.md invariants).
+
+    ``out`` is an optional preallocated product scratch with exactly
+    ``B.shape[1]`` columns and at least ``A.shape[0]`` rows: the product is
+    formed with ``np.matmul(..., out=)`` (bit-identical to ``A @ B`` — same
+    BLAS call, same shapes) and subtracted in place, so the update allocates
+    nothing.  Batched panel sweeps share one such scratch across all their
+    GEMMs (see :func:`repro.numfact.tasks.update_block_column`).
     """
-    C -= A @ B
+    A = as_gemm_operand(A)
+    B = as_gemm_operand(B)
+    if out is None:
+        C -= A @ B
+    else:
+        prod = out[: A.shape[0]]
+        np.matmul(A, B, out=prod)
+        np.subtract(C, prod, out=C)
     if counter is not None:
         ncols = B.shape[1] if ncols_structural is None else ncols_structural
         nrows = A.shape[0] if nrows_structural is None else nrows_structural

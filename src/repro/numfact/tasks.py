@@ -26,13 +26,40 @@ and the triangular solvers replay them in order.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from contextlib import contextmanager
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from .blocks import BlockLUMatrix, SingularMatrixError, StructureViolation
-from .counter import KernelCounter, DGEMV, BLAS1
-from .kernels import gemm_update, unit_lower_solve
+from .counter import KernelCounter, DGEMM, DGEMV, BLAS1
+from .kernels import FLOP_GEMM, gemm_update, scratch_buffer, unit_lower_solve
+
+#: batched supernode updates: fuse the per-(I, J) GEMMs of an elimination
+#: stage into one sweep over the destination panel sharing a single
+#: preallocated product scratch (``np.matmul(..., out=)`` + in-place
+#: subtract — bit-identical to the per-block path, since each block keeps
+#: its own BLAS call shape; see DESIGN.md "Host performance" for why true
+#: operand stacking is *not* bit-stable on modern BLAS).  The legacy
+#: per-block path is kept for A/B timing and the equivalence tests.
+_BATCHED_UPDATES = True
+
+
+def batched_updates_enabled() -> bool:
+    """Is the batched update sweep the current default?"""
+    return _BATCHED_UPDATES
+
+
+@contextmanager
+def batched_updates(enabled: bool):
+    """Temporarily force the batched (or legacy per-block) update path."""
+    global _BATCHED_UPDATES
+    prev = _BATCHED_UPDATES
+    _BATCHED_UPDATES = bool(enabled)
+    try:
+        yield
+    finally:
+        _BATCHED_UPDATES = prev
 
 
 @dataclass
@@ -43,6 +70,41 @@ class FactoredColumn:
     pivots: list  # [(m_pos, t_pos), ...] global position pairs, in order
     diag: np.ndarray  # the bs x bs diagonal block (unit-lower L + upper U)
     lblocks: dict  # block row I (> K) -> dense L block
+
+    # update-sweep memo: sorted (I, block) pairs + the tallest block, built
+    # once and reused by every Update(K, J) consuming this column
+    _lsorted: list = field(default=None, init=False, repr=False, compare=False)
+    _lmaxrows: int = field(default=0, init=False, repr=False, compare=False)
+    # batched-sweep memo: (I, lik, structural_rows, lik.shape[1]) tuples in
+    # ascending I, built on the first Update and shared by all later ones
+    _sweep: list = field(default=None, init=False, repr=False, compare=False)
+
+    def sorted_lblocks(self) -> list:
+        """``sorted(lblocks.items())``, computed once per column."""
+        if self._lsorted is None:
+            self._lsorted = sorted(self.lblocks.items())
+            self._lmaxrows = max(
+                (b.shape[0] for _, b in self._lsorted), default=0
+            )
+        return self._lsorted
+
+    def max_lrows(self) -> int:
+        """Row count of the tallest L block (product-scratch height)."""
+        self.sorted_lblocks()
+        return self._lmaxrows
+
+    def update_sweep(self, bstruct) -> list:
+        """``(I, lik, structural_rows, lik.shape[1])`` tuples in ascending
+        I, resolved once against ``bstruct`` and shared by every
+        ``Update(K, *)`` consuming this column."""
+        sweep = self._sweep
+        if sweep is None:
+            K = self.K
+            sweep = self._sweep = [
+                (I, lik, bstruct.l_rows_count(I, K), lik.shape[1])
+                for I, lik in self.sorted_lblocks()
+            ]
+        return sweep
 
     def nbytes(self) -> int:
         b = self.diag.nbytes + 16 * len(self.pivots)
@@ -78,19 +140,43 @@ def factor_block_column(
         # block must be caught before its poison spreads into the factors
         for I in m.bstruct.l_block_rows(K):
             m.abft.verify_block(I, K, m.blocks[(I, K)], where=f"factor({K})")
-    below = [I for I in m.bstruct.l_block_rows(K) if I > K]
+    # panel metadata (block list, position table, packed row count) depends
+    # only on the static structure: build once per K, reuse across ranks,
+    # refactorizations and restarts
+    meta = m.bstruct._fmeta.get(K)
+    if meta is None:
+        below = [I for I in m.bstruct.l_block_rows(K) if I > K]
+        positions = np.concatenate(
+            [part.positions(K)] + [part.positions(I) for I in below]
+        ).tolist()
+        srows = m.bstruct.panel_rows_count(K)  # packed rows (accounting)
+        meta = m.bstruct._fmeta[K] = (below, positions, srows)
+    else:
+        below, positions, srows = meta
     panel_blocks = [(K, m.blocks[(K, K)])] + [(I, m.blocks[(I, K)]) for I in below]
-    panel = np.vstack([b for _, b in panel_blocks])
-    positions = np.concatenate([part.positions(I) for I, _ in panel_blocks])
-    srows = m.bstruct.panel_rows_count(K)  # packed-storage rows (accounting)
+    nrows = 0
+    for _I, blk in panel_blocks:
+        nrows += blk.shape[0]
+    panel = scratch_buffer("factor-panel", nrows, bs)
+    off = 0
+    for _I, blk in panel_blocks:
+        rows = blk.shape[0]
+        panel[off : off + rows, :] = blk
+        off += rows
 
     if not 0.0 < pivot_threshold <= 1.0:
         raise ValueError("pivot_threshold must be in (0, 1]")
     pivots = []
+    start_K = part.start(K)
+    cadd = counter.add if counter is not None else None
+    scratch = scratch_buffer("factor-outer", nrows, bs)  # rank-1 + row swaps
+    abs_col = scratch_buffer("factor-abs", nrows)
     for c in range(bs):
-        gcol = part.start(K) + c
+        gcol = start_K + c
         col = panel[c:, c]
-        t = int(np.argmax(np.abs(col))) + c
+        ab = abs_col[: nrows - c]
+        np.abs(col, out=ab)
+        t = int(np.argmax(ab)) + c
         if not np.isfinite(panel[t, c]):
             raise SingularMatrixError(
                 f"non-finite pivot candidate for global column {gcol} "
@@ -111,21 +197,27 @@ def factor_block_column(
             and panel[c, c] != 0.0
         ):
             t = c  # keep the diagonal: threshold pivoting
-        pivots.append((int(positions[c]), int(positions[t])))
+        pivots.append((positions[c], positions[t]))
         if t != c:
-            panel[[c, t], :] = panel[[t, c], :]
+            tmp = scratch[0, :]
+            tmp[:] = panel[c, :]
+            panel[c, :] = panel[t, :]
+            panel[t, :] = tmp
         if monitor is not None:
             panel[c, c] = monitor.consider(gcol, float(panel[c, c]))
         piv = panel[c, c]
-        if c + 1 < panel.shape[0]:
+        if c + 1 < nrows:
             panel[c + 1 :, c] /= piv
-            if counter is not None:
-                counter.add(BLAS1, max(srows - c - 1, 0))
+            if cadd is not None:
+                cadd(BLAS1, max(srows - c - 1, 0))
         if c + 1 < bs:
             sub = panel[c + 1 :, c + 1 : bs]
-            sub -= np.outer(panel[c + 1 :, c], panel[c, c + 1 : bs])
-            if counter is not None:
-                counter.add(DGEMV, 2.0 * max(srows - c - 1, 0) * (bs - c - 1), gran=bs)
+            x = panel[c + 1 :, c]
+            outer = scratch[1 : nrows - c, 1 : bs - c]
+            np.multiply(x[:, None], panel[c, c + 1 : bs], out=outer)
+            np.subtract(sub, outer, out=sub)
+            if cadd is not None:
+                cadd(DGEMV, 2.0 * max(srows - c - 1, 0) * (bs - c - 1), gran=bs)
 
     if not np.all(np.isfinite(panel)):
         bad = int(np.argwhere(~np.isfinite(panel))[0, 1])
@@ -181,9 +273,16 @@ def update_block_column(
     J: int,
     counter: KernelCounter = None,
     apply_pivots: bool = True,
+    batched: bool = None,
 ) -> None:
     """Run ``Update(K, J)`` for ``J > K`` (Fig. 8) against local storage ``m``
-    using the factored column ``fc`` (local views or a received message)."""
+    using the factored column ``fc`` (local views or a received message).
+
+    ``batched=None`` follows the module default (:func:`batched_updates`);
+    both paths produce bit-identical factors and identical KernelCounter
+    tallies — the batched sweep only fuses dispatch and shares one product
+    scratch across the panel's GEMMs.
+    """
     K = fc.K
     if J <= K:
         raise ValueError("Update(K, J) requires J > K")
@@ -203,22 +302,65 @@ def update_block_column(
     if m.abft is not None:
         m.abft.post_solve(K, J, ukj)
 
-    for I, lik in sorted(fc.lblocks.items()):
-        target = m.blocks.get((I, J))
+    if batched is None:
+        batched = _BATCHED_UPDATES
+
+    if not batched:
+        lbs = fc.sorted_lblocks()
+        # legacy per-block path (kept for A/B timing + equivalence tests)
+        for I, lik in lbs:
+            target = m.blocks.get((I, J))
+            if target is None:
+                # per George-Ng this contribution must vanish; verify cheaply
+                if np.any(lik @ ukj):
+                    raise StructureViolation(
+                        f"update ({K},{J}) touches absent block ({I},{J})"
+                    )
+                continue
+            if m.abft is not None:
+                m.abft.carry_gemm(I, J, lik, ukj, K=K)
+            gemm_update(
+                target,
+                lik,
+                ukj,
+                counter=counter,
+                ncols_structural=ncols_structural,
+                nrows_structural=m.bstruct.l_rows_count(I, K),
+            )
+        return
+
+    # batched sweep: one contiguous product scratch for the whole panel,
+    # hoisted lookups and a per-column metadata memo (structural row counts
+    # resolved once, not once per consuming Update), zero per-block
+    # allocation beyond the scratch.  Per-block BLAS shapes (and therefore
+    # bits) are preserved — see module-level note.
+    sweep = fc.update_sweep(m.bstruct)
+    if not sweep:
+        return
+    scratch = scratch_buffer("update-prod", fc._lmaxrows, ukj.shape[1])
+    blocks_get = m.blocks.get
+    abft = m.abft
+    matmul = np.matmul
+    subtract = np.subtract
+    cadd = counter.add if counter is not None else None
+    wide = ncols_structural >= 2
+    for I, lik, nrows, lk in sweep:
+        prod = scratch[: lik.shape[0]]
+        matmul(lik, ukj, out=prod)
+        target = blocks_get((I, J))
         if target is None:
             # per George-Ng this contribution must vanish; verify cheaply
-            if np.any(lik @ ukj):
+            if np.any(prod):
                 raise StructureViolation(
                     f"update ({K},{J}) touches absent block ({I},{J})"
                 )
             continue
-        if m.abft is not None:
-            m.abft.carry_gemm(I, J, lik, ukj, K=K)
-        gemm_update(
-            target,
-            lik,
-            ukj,
-            counter=counter,
-            ncols_structural=ncols_structural,
-            nrows_structural=m.bstruct.l_rows_count(I, K),
-        )
+        if abft is not None:
+            abft.carry_gemm(I, J, lik, ukj, K=K)
+        subtract(target, prod, out=target)
+        if cadd is not None:
+            fl = 2.0 * nrows * lk * ncols_structural
+            if wide and nrows >= 2:
+                cadd(DGEMM, fl, gran=lk if lk < ncols_structural else ncols_structural)
+            else:
+                cadd(DGEMV, fl, gran=lk)

@@ -8,6 +8,7 @@ performs best; :func:`Grid2D.preferred` picks that shape.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -37,12 +38,14 @@ class Grid2D:
     def owner_of_block(self, I: int, J: int) -> int:
         return self.rank(I % self.pr, J % self.pc)
 
+    @lru_cache(maxsize=None)
     def row_ranks(self, r: int) -> list:
-        """All ranks in processor row r."""
+        """All ranks in processor row r (shared list: callers only iterate)."""
         return [self.rank(r, c) for c in range(self.pc)]
 
+    @lru_cache(maxsize=None)
     def col_ranks(self, c: int) -> list:
-        """All ranks in processor column c."""
+        """All ranks in processor column c (shared list: callers only iterate)."""
         return [self.rank(r, c) for r in range(self.pr)]
 
     @classmethod

@@ -95,21 +95,28 @@ def _rank_program(env, ctx):
     k0, k1 = ctx.get("stage_range", (0, len(schedule.owner)))
     received = {}
     seen = set()  # every column ever received (incl. later-freed buffers)
+    local_fc = {}  # my own factored columns, re-wrapped once per k
     buffer_bytes = 0
     high_water = 0
 
     my_tasks = [t for t in schedule.proc_tasks[env.rank] if k0 <= t[1] < k1]
-    for task in my_tasks:
+    # index of the last Update consuming each remote column k, so the
+    # receive buffer frees exactly when its final local consumer ran
+    last_use = {}
+    for idx, t in enumerate(my_tasks):
+        if t[0] == UPDATE:
+            last_use[t[1]] = idx
+    for idx, task in enumerate(my_tasks):
         t0 = env.clock
         if task[0] == FACTOR:
             k = task[1]
-            snap = env.snapshot()
+            win = env.begin_counted()
             fc = factor_block_column(
                 m, k, counter=env.counter,
                 pivot_threshold=ctx["pivot_threshold"],
                 monitor=ctx.get("monitor"),
             )
-            env.compute_counted(snap)
+            env.end_counted(win)
             env.span(f"F{k}", t0)
             # pack a fresh send buffer: fc holds views into the local
             # storage ``m``, which later Factor/Update tasks keep mutating
@@ -130,7 +137,9 @@ def _rank_program(env, ctx):
         else:
             _, k, j = task
             if int(schedule.owner[k]) == env.rank:
-                fc = factored_column_of(m, k)
+                fc = local_fc.get(k)
+                if fc is None:
+                    fc = local_fc[k] = factored_column_of(m, k)
             elif k in received:
                 fc = received[k]
             else:
@@ -148,18 +157,17 @@ def _rank_program(env, ctx):
                 seen.add(k)
                 buffer_bytes += fc.nbytes()
                 high_water = max(high_water, buffer_bytes)
-            snap = env.snapshot()
+            win = env.begin_counted()
             update_block_column(m, fc, j, counter=env.counter)
-            env.compute_counted(snap)
+            env.end_counted(win)
             env.span(f"U{k},{j}", t0)
             # free the buffer once the last local consumer ran
-            if int(schedule.owner[k]) != env.rank:
-                later = any(
-                    t[0] == UPDATE and t[1] == k
-                    for t in my_tasks[my_tasks.index(task) + 1 :]
-                )
-                if not later and k in received:
-                    buffer_bytes -= received.pop(k).nbytes()
+            if (
+                int(schedule.owner[k]) != env.rank
+                and idx == last_use[k]
+                and k in received
+            ):
+                buffer_bytes -= received.pop(k).nbytes()
     if broadcast:
         # CA broadcasts *every* factored column to every processor; drain
         # the ones this rank never consumed (the Cbuffer free of the real
@@ -211,15 +219,32 @@ def run_1d(
     poisoning the factorization.
     """
     if tg is None:
-        tg = build_task_graph(bstruct)
+        # the task graph is a pure function of the static block structure:
+        # memoise it there so repeated runs (benchmark sweeps, restart
+        # rounds, refactorizations) don't re-derive it
+        tg = getattr(bstruct, "_tg_cache", None)
+        if tg is None:
+            tg = bstruct._tg_cache = build_task_graph(bstruct)
     if method == "rapid":
-        schedule = graph_schedule(tg, nprocs, spec)
         broadcast = False
     elif method == "ca":
-        schedule = compute_ahead_schedule(tg, nprocs, spec)
         broadcast = True
     else:
         raise ValueError(f"unknown 1D method {method!r}")
+    # schedules are pure functions of (tg, method, nprocs, spec): memoise on
+    # the graph so restart rounds and repeated runs don't re-derive them
+    cache = getattr(tg, "_sched_cache", None)
+    if cache is None:
+        cache = tg._sched_cache = {}
+    skey = (method, nprocs, spec)
+    schedule = cache.get(skey)
+    if schedule is None:
+        schedule = (
+            graph_schedule(tg, nprocs, spec)
+            if method == "rapid"
+            else compute_ahead_schedule(tg, nprocs, spec)
+        )
+        cache[skey] = schedule
 
     locals_ = _distribute_1d(A, part, bstruct, schedule.owner, nprocs, full=start_from)
     if abft:
@@ -236,7 +261,12 @@ def run_1d(
     }
     if stage_range is not None:
         ctx["stage_range"] = stage_range
-    sim = Simulator(nprocs, spec, _rank_program, args=(ctx,), **(sim_opts or {})).run()
+    opts = dict(sim_opts or {})
+    # zero-copy delivery by default: this module is Z-rule certified
+    # (repro lint --certify); the simulator falls back to copying if the
+    # certificate is stale/absent or sanitize mode is on
+    opts.setdefault("zero_copy", True)
+    sim = Simulator(nprocs, spec, _rank_program, args=(ctx,), **opts).run()
 
     # merge the distributed factor back into one BlockLUMatrix for solving
     merged = BlockLUMatrix(part, bstruct)

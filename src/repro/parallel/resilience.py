@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from ..machine import FaultPlan, RankCrashedError
 from ..numfact import BlockLUMatrix, SilentCorruptionError
 from ..obs import CHECKPOINT
+from ..taskgraph import build_task_graph
 from .mapping import Grid2D
 from .oned import run_1d
 from .twod import run_2d
@@ -259,6 +260,9 @@ def run_1d_resilient(
             "pivot_threshold": pivot_threshold,
             "monitor": monitor,
             "abft": abft,
+            # the task graph depends only on the static structure: build it
+            # once here instead of once per restart round
+            "tg": build_task_graph(bstruct),
         },
     )
 

@@ -87,9 +87,9 @@ def _solve_program(env, ctx):
                     env.send(pt, ("fswap", K, step, "m"), row_payload(x[K], lm))
                     x[K][lm] = yield env.recv(("fswap", K, step, "t"))
             xk = x[K]
-            snap = env.snapshot()
+            win = env.begin_counted()
             unit_lower_solve(blocks[(K, K)], xk, counter=env.counter)
-            env.compute_counted(snap)
+            env.end_counted(win)
             # push L_IK x_K contributions to segment owners
             for I in bstruct.l_block_rows(K):
                 if I <= K:
@@ -135,9 +135,9 @@ def _solve_program(env, ctx):
                 else:
                     contrib = yield env.recv(("bwd", K, J))
                 xk -= contrib
-            snap = env.snapshot()
+            win = env.begin_counted()
             upper_solve(blocks[(K, K)], xk, counter=env.counter)
-            env.compute_counted(snap)
+            env.end_counted(win)
 
     return {K: x[K] for K in mine}
 
@@ -162,7 +162,9 @@ def run_1d_trisolve(
             f"rhs must have shape ({lu.n},) or ({lu.n}, k); got {b.shape}"
         )
     ctx = {"lu": lu, "owner": owner, "b": b}
-    sim = Simulator(nprocs, spec, _solve_program, args=(ctx,), **(sim_opts or {})).run()
+    opts = dict(sim_opts or {})
+    opts.setdefault("zero_copy", True)  # Z-rule certified module
+    sim = Simulator(nprocs, spec, _solve_program, args=(ctx,), **opts).run()
     x = np.empty(b.shape)
     bounds = lu.part.bounds
     for ret in sim.returns:

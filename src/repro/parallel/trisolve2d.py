@@ -47,6 +47,28 @@ class TriSolve2DResult:
         return self.sim.total_time
 
 
+def _shared_precomputes(lu: LUFactorization, grid: Grid2D) -> dict:
+    """Per-run tables every rank reads (never writes): diagonal owners,
+    L-below / U-right block lists, and the non-trivial pivot swaps.  Built
+    once in the driver instead of ``nprocs`` times in the rank programs."""
+    part = lu.part
+    bstruct = lu.bstruct
+    pr, pc = grid.pr, grid.pc
+    N = part.N
+    down = [grid.rank(K % pr, K % pc) for K in range(N)]
+    below = [[I for I in bstruct.l_block_rows(K) if I > K] for K in range(N)]
+    right = [bstruct.u_block_cols(K) for K in range(N)]
+    block_of = part.block_of
+    swaps = []
+    for K in range(N):
+        s = []
+        for step, (m, t) in enumerate(lu.matrix.pivot_seq[K]):
+            if m != t:
+                s.append((step, m, t, int(block_of[t])))
+        swaps.append(s)
+    return {"down": down, "below": below, "right": right, "swaps": swaps}
+
+
 def _program(env, ctx):
     lu: LUFactorization = ctx["lu"]
     grid: Grid2D = ctx["grid"]
@@ -56,13 +78,16 @@ def _program(env, ctx):
     blocks = lu.matrix.blocks
     bounds = part.bounds
     N = part.N
-    r, c = grid.coords(env.rank)
+    me = env.rank
+    r, c = grid.coords(me)
     pr, pc = grid.pr, grid.pc
     nrhs = 1 if b.ndim == 1 else b.shape[1]
     mv_kernel = "dgemv" if nrhs == 1 else "dgemm"
-
-    def diag_owner(K):
-        return grid.rank(K % pr, K % pc)
+    down = ctx["down"]
+    below_of = ctx["below"]
+    right_of = ctx["right"]
+    swaps_of = ctx["swaps"]
+    psize = part.size
 
     def row_payload(seg, i):
         # a scalar for vector solves (historic wire format), a row copy for
@@ -72,61 +97,60 @@ def _program(env, ctx):
     x = {
         K: b[bounds[K] : bounds[K + 1]].copy()
         for K in range(N)
-        if diag_owner(K) == env.rank
+        if down[K] == me
     }
 
     # ---- forward ---------------------------------------------------------
     for K in range(N):
-        own_k = diag_owner(K) == env.rank
+        own_k = down[K] == me
+        my_col = c == K % pc
         # pivot swaps: scalar exchanges between diagonal owners
-        for step, (m, t) in enumerate(lu.matrix.pivot_seq[K]):
-            if m == t:
-                continue
-            It = int(part.block_of[t])
-            o_m, o_t = diag_owner(K), diag_owner(It)
+        for step, m, t, It in swaps_of[K]:
+            o_m, o_t = down[K], down[It]
             if o_m == o_t:
-                if env.rank == o_m:
+                if me == o_m:
                     lm, lt = m - bounds[K], t - bounds[It]
                     tmp = np.copy(x[K][lm])
                     x[K][lm] = x[It][lt]
                     x[It][lt] = tmp
-            elif env.rank == o_m:
+            elif me == o_m:
                 lm = m - bounds[K]
                 env.send(o_t, ("2dswap", K, step, "m"), row_payload(x[K], lm))
                 x[K][lm] = yield env.recv(("2dswap", K, step, "t"))
-            elif env.rank == o_t:
+            elif me == o_t:
                 lt = t - bounds[It]
                 env.send(o_m, ("2dswap", K, step, "t"), row_payload(x[It], lt))
                 x[It][lt] = yield env.recv(("2dswap", K, step, "m"))
-        below = [I for I in bstruct.l_block_rows(K) if I > K]
+        below = below_of[K]
         if own_k:
             xk = x[K]
-            snap = env.snapshot()
+            win = env.begin_counted()
             unit_lower_solve(blocks[(K, K)], xk, counter=env.counter)
-            env.compute_counted(snap)
+            env.end_counted(win)
             env.multicast(grid.col_ranks(K % pc), ("2dxk", K), xk.copy())
             xk_local = xk
-        elif c == K % pc:
+        elif my_col:
             xk_local = yield env.recv(("2dxk", K))
         else:
             xk_local = None
         # producers in processor column K % pc compute L_IK x_K
-        if c == K % pc:
+        if my_col:
             for I in below:
                 if I % pr == r and bstruct.has_l(I, K):
                     contrib = blocks[(I, K)] @ xk_local
-                    env.compute(mv_kernel, 2.0 * blocks[(I, K)].size * nrhs, gran=part.size(K))
-                    dest = diag_owner(I)
-                    if dest == env.rank:
+                    env.compute(mv_kernel, 2.0 * blocks[(I, K)].size * nrhs, gran=psize(K))
+                    dest = down[I]
+                    if dest == me:
                         x[I] -= contrib
                     else:
                         env.send(dest, ("2dfwd", K, I), contrib)
         # absorb contributions into my segments (ascending I: bitwise order)
+        kc = K % pc
         for I in below:
             if (
-                diag_owner(I) == env.rank
+                down[I] == me
                 and bstruct.has_l(I, K)
-                and grid.rank(I % pr, K % pc) != env.rank
+                and grid.rank(I % pr, kc) != me
             ):
                 contrib = yield env.recv(("2dfwd", K, I))
                 x[I] -= contrib
@@ -134,28 +158,28 @@ def _program(env, ctx):
     # ---- backward --------------------------------------------------------
     xj_local = {}  # finalised segments received on my processor column
     for K in range(N - 1, -1, -1):
-        right = bstruct.u_block_cols(K)
-        own_k = diag_owner(K) == env.rank
+        right = right_of[K]
+        own_k = down[K] == me
         # producers of stage-K contributions (U_KJ owners, J finalised)
-        if r == K % pr:
+        if r == K % pr and not own_k:
             for J in right:
-                if J % pc == c and diag_owner(K) != env.rank:
+                if J % pc == c:
                     contrib = blocks[(K, J)] @ xj_local[J]
-                    env.compute(mv_kernel, 2.0 * blocks[(K, J)].size * nrhs, gran=part.size(J))
-                    env.send(diag_owner(K), ("2dbwd", K, J), contrib)
+                    env.compute(mv_kernel, 2.0 * blocks[(K, J)].size * nrhs, gran=psize(J))
+                    env.send(down[K], ("2dbwd", K, J), contrib)
         if own_k:
             xk = x[K]
             for J in right:  # ascending J: bitwise order
                 producer = grid.rank(K % pr, J % pc)
-                if producer == env.rank:
+                if producer == me:
                     contrib = blocks[(K, J)] @ xj_local[J]
-                    env.compute(mv_kernel, 2.0 * blocks[(K, J)].size * nrhs, gran=part.size(J))
+                    env.compute(mv_kernel, 2.0 * blocks[(K, J)].size * nrhs, gran=psize(J))
                 else:
                     contrib = yield env.recv(("2dbwd", K, J))
                 xk -= contrib
-            snap = env.snapshot()
+            win = env.begin_counted()
             upper_solve(blocks[(K, K)], xk, counter=env.counter)
-            env.compute_counted(snap)
+            env.end_counted(win)
             env.multicast(grid.col_ranks(K % pc), ("2dxb", K), xk.copy())
             if c == K % pc:
                 xj_local[K] = xk
@@ -182,8 +206,10 @@ def run_2d_trisolve(
         raise ValueError(
             f"rhs must have shape ({lu.n},) or ({lu.n}, k); got {b.shape}"
         )
-    ctx = {"lu": lu, "grid": grid, "b": b}
-    sim = Simulator(nprocs, spec, _program, args=(ctx,), **(sim_opts or {})).run()
+    ctx = {"lu": lu, "grid": grid, "b": b, **_shared_precomputes(lu, grid)}
+    opts = dict(sim_opts or {})
+    opts.setdefault("zero_copy", True)  # Z-rule certified module
+    sim = Simulator(nprocs, spec, _program, args=(ctx,), **opts).run()
     x = np.empty(b.shape)
     bounds = lu.part.bounds
     for ret in sim.returns:

@@ -33,7 +33,8 @@ import numpy as np
 from ..machine import Simulator, MachineSpec
 from ..numfact import BlockLUMatrix, SingularMatrixError, StructureViolation
 from ..numfact.abft import payload_checksums, verify_payload
-from ..numfact.kernels import unit_lower_solve
+from ..numfact.kernels import scratch_buffer, unit_lower_solve
+from ..numfact.tasks import batched_updates_enabled
 from ..sparse import CSRMatrix
 from ..supernodes import BlockPartition, BlockStructure
 from .mapping import Grid2D
@@ -108,6 +109,13 @@ def _pack_row(blocks, part, cols, pos):
     return out
 
 
+def _ndarray_dict_nbytes(d) -> int:
+    """Exact ``_payload_nbytes`` of a ``{key: ndarray}`` payload, computed
+    without the generic recursion (wire-format parity is what keeps the
+    modeled transfer times identical across delivery modes)."""
+    return 16 + sum(8 + v.nbytes for v in d.values())
+
+
 def _store_row(blocks, part, cols, pos, incoming):
     """Write an exchanged subrow back; enforce the static structure."""
     I = int(part.block_of[pos])
@@ -139,6 +147,8 @@ def _rank_program_2d(env, ctx):
     pivot_threshold: float = ctx["pivot_threshold"]
     monitor = ctx.get("monitor")
     abft = bool(ctx.get("abft"))
+    batched = batched_updates_enabled()
+    block_of = ctx["block_of"]
     r, c = grid.coords(env.rank)
     pr, pc = grid.pr, grid.pc
     N = part.N
@@ -146,6 +156,10 @@ def _rank_program_2d(env, ctx):
     pivseqs = [None] * N
     lcol_cache = {}  # K -> {"pivots", "diag", "lblocks"} for my block rows
     urow_cache = {}  # K -> {J: scaled U_KJ} for my block columns
+    # per-rank update-sweep memo: K -> (sorted lblock items, tallest block).
+    # Kept outside lcol_cache because the lcol payload may be zero-copy
+    # shared with other ranks — received payloads are never mutated.
+    lcol_sweep = {}
 
     my_cols = [J for J in range(N) if J % pc == c]
 
@@ -154,32 +168,52 @@ def _rank_program_2d(env, ctx):
         k0, bs = part.start(K), part.size(K)
         diag_r = K % pr
         myI = [I for I in bstruct.l_block_rows(K) if I % pr == r]
+        # hoist the per-column lookups: (start, block, structural rows) per
+        # local panel block, plus shared abs/outer scratch for the pivot
+        # search and the rank-1 eliminations
+        panel = []
+        maxrows = 0
+        for I in myI:
+            blk = blocks[(I, K)]
+            panel.append((part.start(I), blk, bstruct.l_rows_count(I, K)))
+            if blk.shape[0] > maxrows:
+                maxrows = blk.shape[0]
+        # scratch contents never survive a yield (each pivot step fully
+        # writes before reading), so the pooled buffers are safe to share
+        # across the interleaved per-rank factor() generators
+        scr = scratch_buffer("2d-factor-outer", maxrows, bs) if maxrows else None
+        babs = scratch_buffer("2d-factor-abs", maxrows) if maxrows else None
+        compute = env.compute
         pivots = []
         for m in range(bs):
             gm = k0 + m
             # local best candidate (position >= gm), ties -> smallest position
             best_abs, best_pos, best_row = -1.0, -1, None
             ncand = 0
-            for I in myI:
-                blk = blocks.get((I, K))
-                s0 = part.start(I)
-                lo = max(0, gm - s0)
-                if lo >= blk.shape[0]:
+            for s0, blk, _lrc in panel:
+                lo = gm - s0
+                if lo < 0:
+                    lo = 0
+                nsub = blk.shape[0] - lo
+                if nsub <= 0:
                     continue
                 sub = blk[lo:, m]
-                ncand += len(sub)
-                t = int(np.argmax(np.abs(sub)))
-                v = abs(float(sub[t]))
+                ncand += nsub
+                ab = babs[:nsub]
+                np.abs(sub, out=ab)
+                t = int(np.argmax(ab))
+                v = float(ab[t])
                 if v > best_abs:
                     best_abs, best_pos = v, s0 + lo + t
                     best_row = blk[lo + t]
-            env.compute("blas1", ncand)
+            compute("blas1", ncand)
             if r != diag_r:
                 env.send(
                     grid.rank(diag_r, c),
                     ("pmax", K, m, r),
                     (best_abs, best_pos,
                      None if best_row is None else best_row.copy()),
+                    nbytes=32 + (8 if best_row is None else best_row.nbytes),
                 )
                 t_pos, piv_row, old_row = yield env.recv(("pbest", K, m))
             else:
@@ -225,11 +259,12 @@ def _rank_program_2d(env, ctx):
                     grid.col_ranks(c),
                     ("pbest", K, m),
                     (t_pos, piv_row, old_row),
+                    nbytes=24 + piv_row.nbytes + old_row.nbytes,
                 )
             pivots.append((gm, int(t_pos)))
             # perform the interchange within the panel
             if int(t_pos) != gm:
-                It = int(part.block_of[t_pos])
+                It = block_of[t_pos]
                 if r == diag_r:
                     blocks[(K, K)][m] = piv_row
                 if It % pr == r:
@@ -238,34 +273,48 @@ def _rank_program_2d(env, ctx):
             # eliminate: scale column m and update the trailing panel
             piv_val = piv_row[m] if r != diag_r else blocks[(K, K)][m, m]
             nrows = 0
-            for I in myI:
-                blk = blocks[(I, K)]
-                s0 = part.start(I)
-                lo = max(0, gm + 1 - s0)
-                if lo >= blk.shape[0]:
+            ntrail = bs - m - 1
+            prow = piv_row[m + 1 :] if ntrail > 0 else None
+            for s0, blk, lrc in panel:
+                lo = gm + 1 - s0
+                if lo < 0:
+                    lo = 0
+                h = blk.shape[0] - lo
+                if h <= 0:
                     continue
-                blk[lo:, m] /= piv_val
-                if m + 1 < bs:
-                    blk[lo:, m + 1 :] -= np.outer(blk[lo:, m], piv_row[m + 1 :])
+                col = blk[lo:, m]
+                col /= piv_val
+                if ntrail > 0:
+                    sub = blk[lo:, m + 1 :]
+                    outer = scr[:h, :ntrail]
+                    np.multiply(col[:, None], prow, out=outer)
+                    np.subtract(sub, outer, out=sub)
                 # charge the packed-storage row count (accounting parity
                 # with the sequential code)
-                nrows += min(bstruct.l_rows_count(I, K), blk.shape[0] - lo)
-            env.compute("blas1", nrows)
-            env.compute("dgemv", 2.0 * nrows * max(bs - m - 1, 0), gran=bs)
+                nrows += lrc if lrc < h else h
+            compute("blas1", nrows)
+            compute("dgemv", 2.0 * nrows * max(ntrail, 0), gran=bs)
         pivseqs[K] = pivots
         # multicast pivots + my local L blocks along my processor row
-        payload = {
-            "pivots": pivots,
-            "diag": blocks.get((K, K)) if diag_r == r else None,
-            "lblocks": {I: blocks[(I, K)] for I in myI if I > K},
-        }
+        diag = blocks.get((K, K)) if diag_r == r else None
+        lblocks = {I: blocks[(I, K)] for I in myI if I > K}
+        payload = {"pivots": pivots, "diag": diag, "lblocks": lblocks}
+        nb = None
         if abft:
             # column K is final after Factor(K): checksums taken from the
             # live views stay valid for the in-flight deep-copied payload
             payload["abft"] = payload_checksums(
                 {key: v for key, v in payload.items()})
+        else:
+            # exact _payload_nbytes of this payload shape, without the
+            # generic recursion
+            nb = (
+                72 + 32 * len(pivots)
+                + (diag.nbytes if diag is not None else 8)
+                + sum(8 + b.nbytes for b in lblocks.values())
+            )
         lcol_cache[K] = payload
-        env.multicast(grid.row_ranks(r), ("lcol", K), payload)
+        env.multicast(grid.row_ranks(r), ("lcol", K), payload, nbytes=nb)
 
     # ---- ScaleSwap(K): all ranks (Fig. 14) -------------------------------
     def scaleswap(K):
@@ -283,8 +332,8 @@ def _rank_program_2d(env, ctx):
         for step, (gm, t) in enumerate(pivots):
             if gm == t:
                 continue
-            r1 = int(part.block_of[gm]) % pr
-            r2 = int(part.block_of[t]) % pr
+            r1 = block_of[gm] % pr
+            r2 = block_of[t] % pr
             if r1 == r and r2 == r:
                 for J in cols_after:
                     _swap_local(blocks, part, J, gm, t, bstruct)
@@ -292,10 +341,11 @@ def _rank_program_2d(env, ctx):
                 mine, theirs = (gm, t) if r1 == r else (t, gm)
                 peer = grid.rank(r2 if r1 == r else r1, c)
                 outrow = _pack_row(blocks, part, cols_after, mine)
+                nb = None if abft else _ndarray_dict_nbytes(outrow)
                 if abft:
                     outrow["abft"] = payload_checksums(
                         {key: v for key, v in outrow.items()})
-                env.send(peer, ("swap", K, step, r), outrow)
+                env.send(peer, ("swap", K, step, r), outrow, nbytes=nb)
                 incoming = yield env.recv(("swap", K, step, (r2 if r1 == r else r1)))
                 if abft:
                     verify_payload(incoming, where=f"payload:swap({K},{step})",
@@ -305,24 +355,26 @@ def _rank_program_2d(env, ctx):
         if r == K % pr:
             diag = info["diag"]
             scaled = {}
+            udense = bstruct.udense_cols
             for J in cols_after:
                 ukj = blocks.get((K, J))
                 if ukj is not None:
-                    snap = env.snapshot()
+                    win = env.begin_counted()
                     unit_lower_solve(
                         diag,
                         ukj,
                         counter=env.counter,
-                        ncols_structural=len(bstruct.udense_cols[(K, J)]),
+                        ncols_structural=len(udense[(K, J)]),
                     )
-                    env.compute_counted(snap)
+                    env.end_counted(win)
                     scaled[J] = ukj
+            nb = None if abft else _ndarray_dict_nbytes(scaled)
             if abft:
                 # block row K is final after the scaling; see lcol above
                 scaled["abft"] = payload_checksums(
                     {key: v for key, v in scaled.items()})
             urow_cache[K] = scaled
-            env.multicast(grid.col_ranks(c), ("urow", K, c), scaled)
+            env.multicast(grid.col_ranks(c), ("urow", K, c), scaled, nbytes=nb)
         else:
             urow = yield env.recv(("urow", K, c))
             if abft:
@@ -331,59 +383,106 @@ def _rank_program_2d(env, ctx):
             urow_cache[K] = urow
 
     # ---- Update_2D(K, J): local GEMM sweep (Fig. 15) ---------------------
-    def update(K, J):
-        t0 = env.clock
-        ukj = urow_cache[K].get(J)
-        if ukj is None:
-            return
-        info = lcol_cache[K]
-        ncols = len(bstruct.udense_cols[(K, J)])
-        for I, lik in sorted(info["lblocks"].items()):
-            target = blocks.get((I, J))
-            if target is None:
-                if np.any(lik @ ukj):
-                    raise StructureViolation(
-                        f"2D update ({K},{J}) touches absent block ({I},{J})"
-                    )
+    udense_cols = bstruct.udense_cols
+
+    def update_stage(K, urow, js):
+        """Run ``Update_2D(K, J)`` for each candidate ``J`` in ``js``
+        (skipping columns absent from the scaled U row), hoisting the
+        per-stage lookups shared by the whole sweep out of the per-(K, J)
+        work.  Per-(K, J) spans, counters and clock charges are unchanged."""
+        items = None
+        urow_get = urow.get
+        for J in js:
+            ukj = urow_get(J)
+            if ukj is None:
                 continue
-            snap = env.snapshot()
-            target -= lik @ ukj
-            srows = bstruct.l_rows_count(I, K)
-            kernel = "dgemm" if ncols >= 2 and srows >= 2 else "dgemv"
-            env.counter.add(
-                kernel,
-                2.0 * srows * lik.shape[1] * ncols,
-                gran=min(lik.shape[1], ncols) if kernel == "dgemm" else lik.shape[1],
-            )
-            env.compute_counted(snap)
-        if env.clock > t0:
-            update_spans.append((env.rank, K, t0, env.clock))
-            env.span(f"U2D{K}", t0)
+            if items is None:
+                sweep = lcol_sweep.get(K)
+                if sweep is None:
+                    items = [
+                        (I, lik, bstruct.l_rows_count(I, K), lik.shape[1])
+                        for I, lik in sorted(lcol_cache[K]["lblocks"].items())
+                    ]
+                    maxrows = max(
+                        (lik.shape[0] for _, lik, _, _ in items), default=0)
+                    sweep = lcol_sweep[K] = (items, maxrows)
+                items, maxrows = sweep
+                do_batch = batched and bool(items)
+                blocks_get = blocks.get
+                compute = env.compute
+                matmul = np.matmul
+                subtract = np.subtract
+            t0 = env.clock
+            ncols = len(udense_cols[(K, J)])
+            if do_batch:
+                # fused sweep sharing one product scratch: same per-block
+                # BLAS shapes and charge order as the legacy path
+                # (bit-identical factors and virtual times), no per-block
+                # temporaries
+                scratch = scratch_buffer(
+                    "2d-update-prod", maxrows, ukj.shape[1])
+                wide = ncols >= 2
+                for I, lik, srows, lk in items:
+                    prod = scratch[: lik.shape[0]]
+                    matmul(lik, ukj, out=prod)
+                    target = blocks_get((I, J))
+                    if target is None:
+                        if np.any(prod):
+                            raise StructureViolation(
+                                f"2D update ({K},{J}) touches absent block ({I},{J})"
+                            )
+                        continue
+                    subtract(target, prod, out=target)
+                    if wide and srows >= 2:
+                        compute("dgemm", 2.0 * srows * lk * ncols,
+                                gran=lk if lk < ncols else ncols)
+                    else:
+                        compute("dgemv", 2.0 * srows * lk * ncols, gran=lk)
+            else:
+                for I, lik, srows, lk in items:
+                    target = blocks_get((I, J))
+                    if target is None:
+                        if np.any(lik @ ukj):
+                            raise StructureViolation(
+                                f"2D update ({K},{J}) touches absent block ({I},{J})"
+                            )
+                        continue
+                    snap = env.snapshot()
+                    target -= lik @ ukj
+                    kernel = "dgemm" if ncols >= 2 and srows >= 2 else "dgemv"
+                    env.counter.add(
+                        kernel,
+                        2.0 * srows * lk * ncols,
+                        gran=min(lk, ncols) if kernel == "dgemm" else lk,
+                    )
+                    env.compute_counted(snap)
+            if env.clock > t0:
+                update_spans.append((env.rank, K, t0, env.clock))
+                env.span(f"U2D{K}", t0)
 
     # ---- main loop (Fig. 12) ---------------------------------------------
     # checkpoint/restart runs a window of elimination stages [k_lo, k_hi)
     # per round; the full run is the single window [0, N)
     k_lo, k_hi = ctx.get("stage_range", (0, N))
+    # a J absent from the scaled U row is a no-op Update (its first check
+    # returns immediately) — skip the call entirely
     if synchronous:
         for k in range(k_lo, k_hi):
             if c == k % pc:
                 yield from factor(k)
             yield from scaleswap(k)
-            for j in my_cols:
-                if j > k:
-                    update(k, j)
+            update_stage(k, urow_cache[k], [j for j in my_cols if j > k])
             yield env.barrier()
     else:
         if c == k_lo % pc:
             yield from factor(k_lo)
         for k in range(k_lo, k_hi - 1):
             yield from scaleswap(k)
+            urow = urow_cache[k]
             if (k + 1) % pc == c:
-                update(k, k + 1)
+                update_stage(k, urow, (k + 1,))
                 yield from factor(k + 1)
-            for j in my_cols:
-                if j > k + 1:
-                    update(k, j)
+            update_stage(k, urow, [j for j in my_cols if j > k + 1])
         if k_hi < N:
             # window boundary: finish stage k_hi-1 completely (its Factor
             # already ran; ScaleSwap + every trailing update) so the merged
@@ -391,9 +490,7 @@ def _rank_program_2d(env, ctx):
             # the next round.
             k = k_hi - 1
             yield from scaleswap(k)
-            for j in my_cols:
-                if j > k:
-                    update(k, j)
+            update_stage(k, urow_cache[k], [j for j in my_cols if j > k])
         # ScaleSwap(N-1) never runs in the pipelined loop, but Factor(N-1)
         # still multicast its L panel along the processor rows; drain it so
         # no message is left undelivered at exit (the Cbuffer free)
@@ -453,11 +550,20 @@ def run_2d(
         "pivot_threshold": pivot_threshold,
         "monitor": monitor,
         "abft": abft,
+        # row -> block index as plain Python ints, shared read-only by all
+        # ranks: the pivot-swap loops hit this per pivot, and indexing the
+        # numpy array there costs an int() boxing per lookup
+        "block_of": part.block_of.tolist(),
     }
     if stage_range is not None:
         ctx["stage_range"] = stage_range
+    opts = dict(sim_opts or {})
+    # zero-copy delivery by default: this module is Z-rule certified
+    # (repro lint --certify); the simulator falls back to copying if the
+    # certificate is stale/absent or sanitize mode is on
+    opts.setdefault("zero_copy", True)
     sim = Simulator(
-        grid.nprocs, spec, _rank_program_2d, args=(ctx,), **(sim_opts or {})
+        grid.nprocs, spec, _rank_program_2d, args=(ctx,), **opts
     ).run()
 
     merged = BlockLUMatrix(part, bstruct)

@@ -55,6 +55,12 @@ class BlockPartition:
         self.block_of = np.empty(n, dtype=np.int64)
         for b in range(self.N):
             self.block_of[self.bounds[b] : self.bounds[b + 1]] = b
+        # plain-int views of the bounds: start()/size() sit on the hot path
+        # of every Factor/Update task, and indexing a Python list is several
+        # times cheaper than ndarray scalar extraction
+        self._bounds_list = self.bounds.tolist()
+        self._sizes_list = np.diff(self.bounds).tolist()
+        self._positions = {}
 
     @property
     def N(self) -> int:
@@ -63,17 +69,22 @@ class BlockPartition:
 
     @property
     def n(self) -> int:
-        return int(self.bounds[-1])
+        return self._bounds_list[-1]
 
     def start(self, b: int) -> int:
         """S(b): first position of block b."""
-        return int(self.bounds[b])
+        return self._bounds_list[b]
 
     def size(self, b: int) -> int:
-        return int(self.bounds[b + 1] - self.bounds[b])
+        return self._sizes_list[b]
 
     def positions(self, b: int) -> np.ndarray:
-        return np.arange(self.bounds[b], self.bounds[b + 1])
+        pos = self._positions.get(b)
+        if pos is None:
+            pos = self._positions[b] = np.arange(
+                self.bounds[b], self.bounds[b + 1]
+            )
+        return pos
 
     def sizes(self) -> np.ndarray:
         return np.diff(self.bounds)
